@@ -1,0 +1,75 @@
+// Command replay re-executes a captured trace (from wrun) against
+// candidate storage configurations and ranks them — the automated
+// configuration search a workload-aware storage system runs once it has
+// the characterization in hand.
+//
+//	wrun -w hacc -scale 0.1 -o hacc.trc
+//	replay -t hacc.trc -sweep stripe          # stripe-size sweep
+//	replay -t hacc.trc -sweep cache           # cache / read-ahead toggles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vani"
+	"vani/internal/replay"
+	"vani/internal/storage"
+)
+
+func main() {
+	traceFile := flag.String("t", "", "trace file to replay (required)")
+	sweep := flag.String("sweep", "stripe", "candidate sweep: stripe or cache")
+	think := flag.Bool("think", true, "preserve recorded think time between calls")
+	flag.Parse()
+
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "usage: replay -t <trace> [-sweep stripe|cache] [-think=false]")
+		os.Exit(2)
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tr, err := vani.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	base := storage.Lassen()
+	var cands []replay.Candidate
+	switch *sweep {
+	case "stripe":
+		cands = replay.StripeSweep(base,
+			64*storage.KiB, 256*storage.KiB, storage.MiB, 4*storage.MiB, 16*storage.MiB)
+	case "cache":
+		cands = replay.CacheSweep(base)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown sweep; use stripe or cache")
+		os.Exit(2)
+	}
+
+	opt := replay.DefaultOptions()
+	opt.PreserveThinkTime = *think
+	results, err := vani.Tune(tr, cands, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %s (%d events) under %d candidates:\n",
+		*traceFile, len(tr.Events), len(results))
+	fmt.Printf("%-16s %-14s %-14s\n", "candidate", "runtime", "mean rank I/O")
+	for i, r := range results {
+		marker := "  "
+		if i == 0 {
+			marker = "->"
+		}
+		fmt.Printf("%s %-14s %-14s %-14s\n", marker, r.Candidate.Name,
+			r.Runtime.Round(time.Millisecond), r.IOTime.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,76 @@
+// Command vani is the analyzer of the paper's tool suite: it loads a
+// Recorder-style trace (written by wrun), builds the entity/attribute
+// characterization, and renders it as tables, YAML, figure panels, and
+// storage-configuration recommendations.
+//
+//	wrun -w jag -o jag.trc
+//	vani -t jag.trc -tables -figure -advise -yaml jag.yaml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vani"
+	"vani/internal/report"
+	"vani/internal/workloads"
+	"vani/internal/yamlenc"
+)
+
+func main() {
+	traceFile := flag.String("t", "", "trace file to analyze (required)")
+	tables := flag.Bool("tables", true, "render the entity tables")
+	figure := flag.Bool("figure", false, "render the figure panels")
+	advise := flag.Bool("advise", false, "print storage recommendations")
+	phases := flag.Bool("phases", false, "render the full I/O phase series")
+	yamlOut := flag.String("yaml", "", "write the characterization as YAML to this file")
+	flag.Parse()
+
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "usage: vani -t <trace> [-tables] [-figure] [-advise] [-yaml out.yaml]")
+		os.Exit(2)
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tr, err := vani.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := workloads.DefaultSpec().Storage
+	c := vani.CharacterizeTrace(tr, &cfg)
+
+	if *tables {
+		cols := []report.Named{{Name: c.Workload, C: c}}
+		fmt.Println(report.AllTables(cols, 0))
+	}
+	if *figure {
+		fmt.Println(report.Figure(c))
+	}
+	if *phases {
+		fmt.Println(report.PhaseTable(c.Workload, c))
+	}
+	if *advise {
+		recs := vani.Advise(c)
+		if len(recs) == 0 {
+			fmt.Println("no recommendations: the workload already matches the defaults")
+		}
+		for _, r := range recs {
+			fmt.Printf("[%s] %s = %s\n    why: %s\n    from: %v\n",
+				r.Area, r.Parameter, r.Value, r.Rationale, r.Attributes)
+		}
+	}
+	if *yamlOut != "" {
+		data := yamlenc.Marshal(c)
+		if err := os.WriteFile(*yamlOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *yamlOut, len(data))
+	}
+}

@@ -1,0 +1,95 @@
+// Command wrun runs one exemplar workload on the simulated stack and
+// writes its Recorder-style trace, playing the role of the traced job
+// submission in the paper's methodology.
+//
+//	wrun -w cosmoflow -nodes 32 -scale 0.1 -o cosmoflow.trc
+//	wrun -w montage-mpi -optimized          # Section V-B reconfiguration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vani"
+)
+
+func main() {
+	name := flag.String("w", "", "workload: "+strings.Join(vani.Workloads(), ", "))
+	nodes := flag.Int("nodes", 32, "nodes")
+	ranksPerNode := flag.Int("rpn", 0, "ranks per node (0 = workload default)")
+	scale := flag.Float64("scale", 0.1, "fraction of paper scale (1.0 = full)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	out := flag.String("o", "", "trace output file (empty = don't write)")
+	optimized := flag.Bool("optimized", false, "apply the workload's case-study optimization")
+	overhead := flag.Duration("trace-overhead", 0, "per-event tracer overhead")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "usage: wrun -w <workload> [flags]; workloads:",
+			strings.Join(vani.Workloads(), ", "))
+		os.Exit(2)
+	}
+	w, err := vani.New(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec := w.DefaultSpec()
+	spec.Nodes = *nodes
+	if *ranksPerNode > 0 {
+		spec.RanksPerNode = *ranksPerNode
+	}
+	spec.Scale = *scale
+	spec.Seed = *seed
+	spec.Optimized = *optimized
+	spec.TraceOverhead = *overhead
+
+	start := time.Now()
+	res, err := vani.Run(w, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := res.Sys.Stats
+	fmt.Printf("workload   : %s (scale %g, %d nodes x %d ranks)\n",
+		w.Name(), spec.Scale, spec.Nodes, spec.RanksPerNode)
+	fmt.Printf("virtual    : %s  (simulated in %s)\n",
+		res.Runtime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("events     : %d\n", len(res.Trace.Events))
+	fmt.Printf("gpfs       : read %s, wrote %s, %d data ops, %d meta ops\n",
+		mb(st[0].BytesRead), mb(st[0].BytesWritten), st[0].DataOps, st[0].MetaOps)
+	fmt.Printf("node-local : read %s, wrote %s\n", mb(st[1].BytesRead), mb(st[1].BytesWritten))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := vani.WriteTrace(f, res.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fi, _ := os.Stat(*out)
+		fmt.Printf("trace      : %s (%s)\n", *out, mb(fi.Size()))
+	}
+}
+
+func mb(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,158 @@
+// Custom workload: the paper's methodology applied to YOUR application.
+//
+// This example defines a new workload from scratch — a particle-in-cell
+// simulation that checkpoints a shared file through MPI-IO every few
+// steps while rank 0 appends small STDIO diagnostics — runs it on the
+// simulated Lassen stack, characterizes it, and lets the advisor derive
+// storage settings. It shows the full extension surface: implement the
+// Workload interface, script the ranks against an IOClient, attach
+// dataset metadata, and everything downstream (tables, YAML, advisor)
+// works unchanged.
+//
+//	go run ./examples/custom-workload
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"vani"
+	"vani/internal/report"
+	"vani/internal/yamlenc"
+)
+
+// picSim is a particle-in-cell code: alternating field-solve compute and
+// checkpoint I/O, one shared checkpoint file per step, written at 1MB
+// granularity through MPI-IO, plus a rank-0 STDIO diagnostics log.
+type picSim struct {
+	Steps          int
+	CheckpointMB   int64 // per rank, per checkpoint
+	CheckpointEach int   // checkpoint every N steps
+	ComputePerStep time.Duration
+}
+
+// Name implements vani.Workload.
+func (w *picSim) Name() string { return "pic-sim" }
+
+// AppName implements vani.Workload.
+func (w *picSim) AppName() string { return "pic3d" }
+
+// DefaultSpec implements vani.Workload.
+func (w *picSim) DefaultSpec() vani.Spec {
+	s := defaultSpec()
+	s.TimeLimit = 4 * time.Hour
+	return s
+}
+
+// Setup implements vani.Workload: attach a value sample so the "data
+// dist" attribute resolves (PIC field values are normal).
+func (w *picSim) Setup(env *vani.Env) {
+	// Pre-create the shared checkpoint files so every rank's
+	// non-creating open is valid regardless of arrival order.
+	for step := 0; step < w.Steps; step++ {
+		if (step+1)%w.CheckpointEach == 0 {
+			env.Sys.Materialize(0, fmt.Sprintf("/p/gpfs1/pic/ckpt_%04d.bin", step), 0)
+		}
+	}
+	sample := make([]float64, 1000)
+	rng := env.RNG.Fork()
+	for i := range sample {
+		sample[i] = rng.Normal(0, 2.5)
+	}
+	env.Tr.AddSample("pic-fields", sample)
+}
+
+// Spawn implements vani.Workload: script every rank.
+func (w *picSim) Spawn(env *vani.Env) {
+	ranks := env.Job.Ranks()
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		cl := env.Client(w.AppName(), rank)
+		env.E.Spawn(fmt.Sprintf("pic-rank%d", rank), func(p *vani.Proc) {
+			for step := 0; step < w.Steps; step++ {
+				cl.Compute(p, w.ComputePerStep)
+				if (step+1)%w.CheckpointEach != 0 {
+					continue
+				}
+				// Shared checkpoint: every rank writes its slab at its
+				// offset through MPI-IO.
+				path := fmt.Sprintf("/p/gpfs1/pic/ckpt_%04d.bin", step)
+				cl.DescribeFile(path, "bin", 3, "float")
+				m, err := cl.MPIOpen(p, path, false, ranks)
+				if err != nil {
+					panic(err)
+				}
+				slab := w.CheckpointMB * 1 << 20
+				base := int64(rank) * slab
+				for off := int64(0); off < slab; off += 1 << 20 {
+					if err := m.WriteAt(p, base+off, 1<<20); err != nil {
+						panic(err)
+					}
+				}
+				if err := m.Close(p); err != nil {
+					panic(err)
+				}
+				// Rank 0 appends small diagnostics through STDIO.
+				if rank == 0 {
+					d, err := cl.StdioOpen(p, "/p/gpfs1/pic/diag.log", 'w')
+					if err != nil {
+						panic(err)
+					}
+					for i := 0; i < 32; i++ {
+						if err := d.Write(p, 512); err != nil {
+							panic(err)
+						}
+					}
+					if err := d.Close(p); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func defaultSpec() vani.Spec {
+	w, err := vani.New("hacc") // borrow the stock Lassen configuration
+	if err != nil {
+		panic(err)
+	}
+	return w.DefaultSpec()
+}
+
+func main() {
+	w := &picSim{
+		Steps:          20,
+		CheckpointMB:   64,
+		CheckpointEach: 5,
+		ComputePerStep: 30 * time.Second,
+	}
+	spec := w.DefaultSpec()
+	spec.Nodes = 8
+	spec.RanksPerNode = 16
+
+	res, err := vani.Run(w, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := vani.Characterize(res)
+
+	fmt.Printf("pic-sim: %d ranks, %s virtual runtime, %s written per checkpoint wave\n\n",
+		res.Job.Ranks(), res.Runtime.Round(time.Second),
+		report.Bytes(int64(res.Job.Ranks())*w.CheckpointMB<<20))
+	fmt.Println(report.TableI([]report.Named{{Name: "pic-sim", C: c}}))
+
+	fmt.Println("advisor:")
+	for _, r := range vani.Advise(c) {
+		fmt.Printf("  %-24s = %-8s  %s\n", r.Parameter, r.Value, r.Rationale)
+	}
+
+	// The characterization is what a workload-aware storage system would
+	// load; write it as YAML like the paper's Analyzer does.
+	if err := os.WriteFile("pic-sim.yaml", yamlenc.Marshal(c), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote pic-sim.yaml (entity/attribute characterization)")
+}

@@ -1,0 +1,82 @@
+// Quickstart: simulate a traced HPC workload, characterize its I/O
+// behavior into the paper's entities and attributes, and ask the advisor
+// how the storage system should configure itself.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vani"
+	"vani/internal/report"
+)
+
+func main() {
+	// 1. Pick a workload. HACC-I/O is the checkpoint/restart kernel:
+	// file-per-process POSIX, 16MB sequential transfers.
+	w, err := vani.New("hacc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Configure the job: a small 8-node slice of the Lassen model at
+	// 10% of the paper's data volume, so the example runs in about a
+	// second of wall time.
+	spec := w.DefaultSpec()
+	spec.Nodes = 8
+	spec.Scale = 0.1
+
+	// 3. Run the simulation with Recorder-style tracing.
+	res, err := vani.Run(w, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %s: %d ranks, %s virtual runtime, %d trace events\n\n",
+		w.Name(), res.Job.Ranks(), res.Runtime.Round(time.Millisecond), len(res.Trace.Events))
+
+	// 4. Characterize: entities and attributes (Tables II-XI).
+	c := vani.Characterize(res)
+	fmt.Printf("I/O volume   : %s read, %s written\n",
+		report.Bytes(c.Workflow.ReadBytes), report.Bytes(c.Workflow.WriteBytes))
+	fmt.Printf("op mix       : %s (data, metadata)\n",
+		report.Pct(c.Workflow.DataOpsPct, c.Workflow.MetaOpsPct))
+	fmt.Printf("files        : %d file-per-process, %d shared\n",
+		c.Workflow.FPPFiles, c.Workflow.SharedFiles)
+	fmt.Printf("granularity  : %s writes / %s reads, %s access\n",
+		report.Bytes(c.HighLevel.Granularity.Write),
+		report.Bytes(c.HighLevel.Granularity.Read), c.HighLevel.AccessPattern)
+	fmt.Printf("data         : %s repr, %s distribution\n",
+		c.HighLevel.DataRepr, c.HighLevel.DataDist)
+	fmt.Printf("I/O phases   : %d (first: %s)\n\n",
+		len(c.Phases), firstPhase(c))
+
+	// 5. Advise: map the attributes to storage configuration (Section IV-D).
+	recs := vani.Advise(c)
+	fmt.Printf("the storage system should apply %d reconfigurations:\n", len(recs))
+	for _, r := range recs {
+		fmt.Printf("  %-24s = %-8s (%s)\n", r.Parameter, r.Value, r.ID)
+		fmt.Printf("      %s\n", r.Rationale)
+	}
+
+	// 6. Apply and re-run: the advised stripe size matches HACC's 16MB
+	// transfers.
+	tuned := spec
+	applied := vani.ApplyRecommendations(recs, &tuned)
+	res2, err := vani.Run(w, tuned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-ran with %v applied: %s -> %s\n",
+		applied, res.Runtime.Round(time.Millisecond), res2.Runtime.Round(time.Millisecond))
+}
+
+func firstPhase(c *vani.Characterization) string {
+	if len(c.Phases) == 0 {
+		return "none"
+	}
+	p := c.Phases[0]
+	return fmt.Sprintf("%s in %s, %s", report.Bytes(p.IOBytes), report.Dur(p.Runtime), p.Frequency)
+}

@@ -1,0 +1,3 @@
+module vani
+
+go 1.22

@@ -1,0 +1,422 @@
+// Package advisor maps workload characterizations to storage-system
+// configurations, implementing Section IV-D of the paper ("Optimizing
+// workloads based on characterization").
+//
+// Each rule consumes specific entity attributes and emits a
+// Recommendation naming the storage parameter to set, the value, the
+// rationale, and the attributes that drove it — the traceability the
+// paper's methodology calls for. Apply translates recommendations back
+// onto a workload specification so the simulation can re-run optimized,
+// which is how the Figure 7 and Figure 8 case studies are reproduced.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"vani/internal/core"
+	"vani/internal/stats"
+	"vani/internal/storage"
+	"vani/internal/workloads"
+)
+
+// Area groups recommendations by the optimization class of Section IV-D.
+type Area string
+
+// Optimization areas (Section IV-D's five headings).
+const (
+	AreaSoftwareAccel Area = "io-acceleration"   // IV-D1
+	AreaAsyncIO       Area = "async-io"          // IV-D2
+	AreaSystemTuning  Area = "system-tuning"     // IV-D3
+	AreaPlacement     Area = "process-placement" // IV-D4
+	AreaDataset       Area = "dataset-layout"    // IV-D5
+)
+
+// Recommendation is one storage-configuration change derived from the
+// characterization.
+type Recommendation struct {
+	ID         string // stable identifier, e.g. "preload-node-local"
+	Area       Area
+	Parameter  string // storage parameter to set
+	Value      string // value to set it to
+	Rationale  string
+	Attributes []string // characterization attributes that drove the rule
+}
+
+// Advise runs every rule against the characterization and returns the
+// applicable recommendations, most impactful areas first.
+func Advise(c *core.Characterization) []Recommendation {
+	var recs []Recommendation
+	for _, rule := range rules {
+		if r, ok := rule(c); ok {
+			recs = append(recs, r)
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+type rule func(*core.Characterization) (Recommendation, bool)
+
+var rules = []rule{
+	ruleCompression,
+	rulePreloadNodeLocal,
+	ruleIntermediatesToBB,
+	ruleCheckpointToSharedBB,
+	ruleStripeSize,
+	ruleDisableLocking,
+	ruleHDF5Chunking,
+	ruleAsyncOverlap,
+	rulePlacement,
+	ruleBufferSize,
+	ruleDisableBBPersistence,
+}
+
+// ruleCheckpointToSharedBB stages checkpoint traffic onto the shared burst
+// buffer on systems that have one (the DataWarp example of Section
+// IV-D3): write-heavy file-per-process workloads with large sequential
+// transfers drain to the PFS later instead of stalling the job.
+func ruleCheckpointToSharedBB(c *core.Characterization) (Recommendation, bool) {
+	if c.JobConfig.SharedBBDir == "" {
+		return Recommendation{}, false
+	}
+	// Checkpoint signature: substantial writes, dominated by FPP files.
+	if c.Workflow.WriteBytes < c.Workflow.ReadBytes/2 || c.Workflow.WriteBytes == 0 {
+		return Recommendation{}, false
+	}
+	if c.Workflow.FPPFiles <= c.Workflow.SharedFiles {
+		return Recommendation{}, false
+	}
+	return Recommendation{
+		ID:        "checkpoint-shared-bb",
+		Area:      AreaSoftwareAccel,
+		Parameter: "checkpoint.dir",
+		Value:     c.JobConfig.SharedBBDir,
+		Rationale: fmt.Sprintf(
+			"%s of checkpoint writes over %d file-per-process files can land on the shared burst buffer and drain to the PFS asynchronously",
+			core.SizeString(c.Workflow.WriteBytes), c.Workflow.FPPFiles),
+		Attributes: []string{"job.shared_bb_dir", "workflow.io_amount",
+			"workflow.fpp_shared_files", "highlevel.granularity"},
+	}, true
+}
+
+// rulePreloadNodeLocal is the Section V-A (CosmoFlow / Figure 7)
+// optimization: a metadata-dominated shared-dataset workload whose
+// per-node shard fits in unused node memory should be preloaded into
+// node-local shared memory.
+func rulePreloadNodeLocal(c *core.Characterization) (Recommendation, bool) {
+	if c.Workflow.MetaOpsPct < 0.5 || c.JobConfig.NodeLocalBBDir == "" {
+		return Recommendation{}, false
+	}
+	// Preloading helps input-dominated workloads; write-heavy checkpoint
+	// traffic cannot be served from a read staging area.
+	if c.Workflow.ReadBytes < 2*c.Workflow.WriteBytes {
+		return Recommendation{}, false
+	}
+	nodes := c.JobConfig.Nodes
+	if nodes == 0 {
+		return Recommendation{}, false
+	}
+	perNode := c.Dataset.SizeBytes / int64(nodes)
+	memBudget := int64(c.Middleware.MemPerNodeGB) * (1 << 30) * 3 / 4
+	if perNode == 0 || perNode > memBudget {
+		return Recommendation{}, false
+	}
+	return Recommendation{
+		ID:        "preload-node-local",
+		Area:      AreaSoftwareAccel,
+		Parameter: "dataset.staging",
+		Value:     "preload:" + c.JobConfig.NodeLocalBBDir,
+		Rationale: fmt.Sprintf(
+			"%d%% of I/O operations are metadata on a %s dataset of %d files; each node's shard (%s) fits in unused memory, so preloading to %s removes shared-FS metadata cost",
+			int(c.Workflow.MetaOpsPct*100), core.SizeString(c.Dataset.SizeBytes),
+			c.Dataset.NumFiles, core.SizeString(perNode), c.JobConfig.NodeLocalBBDir),
+		Attributes: []string{
+			"workflow.io_ops_dist", "dataset.size", "dataset.num_files",
+			"middleware.memory_per_node", "job.node_local_bb_dir", "job.nodes",
+		},
+	}, true
+}
+
+// ruleIntermediatesToBB is the Section V-B (Montage / Figure 8)
+// optimization: producer-consumer intermediate files accessed with small
+// transfers should live on the node-local burst buffer.
+func ruleIntermediatesToBB(c *core.Characterization) (Recommendation, bool) {
+	if c.JobConfig.NodeLocalBBDir == "" || len(c.Workflow.AppDeps) == 0 {
+		return Recommendation{}, false
+	}
+	granule := c.HighLevel.Granularity.Write
+	if granule == 0 || granule > 64<<10 {
+		return Recommendation{}, false
+	}
+	var depBytes int64
+	for _, d := range c.Workflow.AppDeps {
+		depBytes += d.Bytes
+	}
+	if depBytes == 0 {
+		return Recommendation{}, false
+	}
+	return Recommendation{
+		ID:        "intermediates-node-local",
+		Area:      AreaSoftwareAccel,
+		Parameter: "workflow.intermediate_dir",
+		Value:     c.JobConfig.NodeLocalBBDir,
+		Rationale: fmt.Sprintf(
+			"%s of data flows between applications through intermediate files written with %s transfers; placing them on %s avoids small-transfer PFS cost",
+			core.SizeString(depBytes), core.SizeString(granule), c.JobConfig.NodeLocalBBDir),
+		Attributes: []string{
+			"workflow.app_data_dependency", "highlevel.granularity",
+			"job.node_local_bb_dir",
+		},
+	}, true
+}
+
+// ruleStripeSize sets the PFS stripe size to the dominant transfer size of
+// the most important files (Section IV-D3's Lustre example).
+func ruleStripeSize(c *core.Characterization) (Recommendation, bool) {
+	g := c.HighLevel.Granularity.Read
+	if c.HighLevel.Granularity.Write > g {
+		g = c.HighLevel.Granularity.Write
+	}
+	if g < 1<<20 { // small-transfer workloads are handled by other rules
+		return Recommendation{}, false
+	}
+	return Recommendation{
+		ID:        "pfs-stripe-size",
+		Area:      AreaSystemTuning,
+		Parameter: "pfs.stripe_size",
+		Value:     core.SizeString(g),
+		Rationale: fmt.Sprintf(
+			"dominant transfer size is %s; matching the stripe size optimizes the most frequent accesses",
+			core.SizeString(g)),
+		Attributes: []string{"highlevel.granularity", "file.io_ops"},
+	}, true
+}
+
+// ruleDisableLocking turns off ROMIO/GPFS range locking when no file is
+// shared between processes (Section IV-D3's GPFS example).
+func ruleDisableLocking(c *core.Characterization) (Recommendation, bool) {
+	if c.Workflow.SharedFiles != 0 || c.Workflow.FPPFiles == 0 {
+		return Recommendation{}, false
+	}
+	return Recommendation{
+		ID:        "romio-disable-locking",
+		Area:      AreaSystemTuning,
+		Parameter: "romio.locking",
+		Value:     "false",
+		Rationale: fmt.Sprintf(
+			"all %d files are file-per-process with no cross-process data dependency; range locking is pure overhead",
+			c.Workflow.FPPFiles),
+		Attributes: []string{"workflow.fpp_shared_files", "app.process_data_dependency"},
+	}, true
+}
+
+// ruleHDF5Chunking enables dataset chunking for metadata-bound HDF5
+// workloads (Section IV-D5's format-specific optimization).
+func ruleHDF5Chunking(c *core.Characterization) (Recommendation, bool) {
+	if c.Dataset.Format != "hdf5" || c.Workflow.MetaOpsPct < 0.5 {
+		return Recommendation{}, false
+	}
+	return Recommendation{
+		ID:        "hdf5-chunking",
+		Area:      AreaDataset,
+		Parameter: "hdf5.chunking",
+		Value:     core.SizeString(c.HighLevel.Granularity.Read),
+		Rationale: fmt.Sprintf(
+			"HDF5 dataset accessed without chunking pays %d%% metadata operations; chunking at the %s access size amortizes B-tree lookups",
+			int(c.Workflow.MetaOpsPct*100), core.SizeString(c.HighLevel.Granularity.Read)),
+		Attributes: []string{"dataset.format", "workflow.io_ops_dist", "highlevel.granularity"},
+	}, true
+}
+
+// ruleAsyncOverlap recommends asynchronous I/O when the workload has
+// distinct compute and I/O phases (Section IV-D2).
+func ruleAsyncOverlap(c *core.Characterization) (Recommendation, bool) {
+	if len(c.Phases) < 2 || c.Workflow.Runtime == 0 {
+		return Recommendation{}, false
+	}
+	ioFrac := float64(c.Workflow.IOTime) / float64(c.Workflow.Runtime)
+	if ioFrac > 0.5 { // already I/O-bound: nothing to hide behind
+		return Recommendation{}, false
+	}
+	// Correctness gate (Section IV-D2): relaxed asynchronous flushing is
+	// only safe when no file written on one node is read from another.
+	if c.Workflow.CrossNodeRAW {
+		return Recommendation{}, false
+	}
+	return Recommendation{
+		ID:        "async-io",
+		Area:      AreaAsyncIO,
+		Parameter: "middleware.async_io",
+		Value:     "true",
+		Rationale: fmt.Sprintf(
+			"%d I/O phases occupy %d%% of the runtime; their cost can hide behind compute with asynchronous flushing",
+			len(c.Phases), int(ioFrac*100)),
+		Attributes: []string{"phase.frequency", "phase.runtime",
+			"workflow.runtime", "workflow.cross_node_raw"},
+	}, true
+}
+
+// rulePlacement co-locates consumer applications with their producers'
+// data (Section IV-D4, workflow emulators).
+func rulePlacement(c *core.Characterization) (Recommendation, bool) {
+	if len(c.Workflow.AppDeps) == 0 || c.Workflow.NumApps < 2 {
+		return Recommendation{}, false
+	}
+	top := c.Workflow.AppDeps[0]
+	for _, d := range c.Workflow.AppDeps[1:] {
+		if d.Bytes > top.Bytes {
+			top = d
+		}
+	}
+	return Recommendation{
+		ID:        "placement-colocate",
+		Area:      AreaPlacement,
+		Parameter: "workflow.placement",
+		Value:     fmt.Sprintf("colocate:%s->%s", top.Producer, top.Consumer),
+		Rationale: fmt.Sprintf(
+			"%s consumes %s produced by %s; scheduling them on the same nodes keeps the exchange local",
+			top.Consumer, core.SizeString(top.Bytes), top.Producer),
+		Attributes: []string{"workflow.app_data_dependency", "job.nodes",
+			"job.cpu_cores_per_node"},
+	}, true
+}
+
+// ruleBufferSize derives a middleware buffer size from the transfer
+// granularity and available memory (the Section I example of a setting
+// that needs multiple attributes at once).
+func ruleBufferSize(c *core.Characterization) (Recommendation, bool) {
+	g := c.HighLevel.Granularity.Write
+	if g == 0 || g >= 1<<20 {
+		return Recommendation{}, false
+	}
+	buf := g * 16
+	if buf > 4<<20 {
+		buf = 4 << 20
+	}
+	if buf < 64<<10 {
+		buf = 64 << 10
+	}
+	return Recommendation{
+		ID:        "middleware-buffer-size",
+		Area:      AreaSoftwareAccel,
+		Parameter: "middleware.buffer_size",
+		Value:     core.SizeString(buf),
+		Rationale: fmt.Sprintf(
+			"application writes in %s accesses; a %s client buffer aggregates them without pressuring the %dGB node memory",
+			core.SizeString(g), core.SizeString(buf), c.Middleware.MemPerNodeGB),
+		Attributes: []string{"highlevel.granularity", "middleware.memory_per_node",
+			"job.cpu_cores_per_node"},
+	}, true
+}
+
+// ruleDisableBBPersistence disables burst-buffer persistence when all
+// heavy files are produced and consumed inside the job (Datawarp's
+// DisablePersistent flag, Section IV-D3).
+func ruleDisableBBPersistence(c *core.Characterization) (Recommendation, bool) {
+	if len(c.Workflow.AppDeps) == 0 {
+		return Recommendation{}, false
+	}
+	// Producer-consumer traffic within the job means intermediates are
+	// temporary; nothing in a BB needs to outlive the job.
+	return Recommendation{
+		ID:         "bb-disable-persistence",
+		Area:       AreaSystemTuning,
+		Parameter:  "burst_buffer.persistence",
+		Value:      "false",
+		Rationale:  "intermediate files are produced and consumed within the job; persisting them past job end wastes burst-buffer drain bandwidth",
+		Attributes: []string{"workflow.app_data_dependency", "highlevel.granularity"},
+	}, true
+}
+
+// ruleCompression enables transparent write-path compression only when
+// the dataset's value distribution is compressible and transfers are
+// large enough to amortize the CPU stage. The paper warns that blind
+// compression can *grow* data by 12% and cost 1.5x in total time on the
+// wrong distribution; uniform (high-entropy) datasets are excluded.
+func ruleCompression(c *core.Characterization) (Recommendation, bool) {
+	switch c.HighLevel.DataDist {
+	case stats.DistNormal, stats.DistGamma:
+		// Concentrated distributions compress well.
+	default:
+		return Recommendation{}, false
+	}
+	g := c.HighLevel.Granularity.Write
+	if g < 64<<10 { // small transfers: CPU stage dominates any savings
+		return Recommendation{}, false
+	}
+	if c.Workflow.WriteBytes < c.Workflow.ReadBytes {
+		return Recommendation{}, false // write-path optimization
+	}
+	return Recommendation{
+		ID:        "write-compression",
+		Area:      AreaDataset,
+		Parameter: "middleware.compression",
+		Value:     "on",
+		Rationale: fmt.Sprintf(
+			"dataset values are %s-distributed (compressible) and written in %s transfers; transparent compression halves the bytes the PFS must absorb",
+			c.HighLevel.DataDist, core.SizeString(g)),
+		Attributes: []string{"highlevel.data_dist", "highlevel.granularity",
+			"workflow.io_amount", "dataset.format"},
+	}, true
+}
+
+// Apply translates recommendations onto a workload specification, so the
+// next simulated run executes with the advised configuration. It returns
+// the identifiers it acted on; advisory-only recommendations (for systems
+// outside the simulation, like placement hints) are left to the caller.
+func Apply(recs []Recommendation, spec *workloads.Spec) []string {
+	var applied []string
+	for _, r := range recs {
+		switch r.ID {
+		case "preload-node-local", "intermediates-node-local", "checkpoint-shared-bb":
+			spec.Optimized = true
+			applied = append(applied, r.ID)
+		case "hdf5-chunking":
+			spec.Iface.HDF5Chunked = true
+			applied = append(applied, r.ID)
+		case "async-io":
+			spec.Storage.RelaxedConsistency = true
+			applied = append(applied, r.ID)
+		case "write-compression":
+			spec.Iface.CompressionEnabled = true
+			applied = append(applied, r.ID)
+		case "pfs-stripe-size":
+			if v, ok := parseSize(r.Value); ok && v > 0 {
+				spec.Storage.PFSStripeSize = v
+				applied = append(applied, r.ID)
+			}
+		case "middleware-buffer-size":
+			if v, ok := parseSize(r.Value); ok && v > 0 {
+				spec.Iface.StdioBufSize = v
+				applied = append(applied, r.ID)
+			}
+		}
+	}
+	return applied
+}
+
+// parseSize inverts core.SizeString ("64KB", "1.5MB", "16MB", ...).
+func parseSize(s string) (int64, bool) {
+	var v float64
+	var unit string
+	if _, err := fmt.Sscanf(s, "%f%s", &v, &unit); err != nil {
+		return 0, false
+	}
+	mult := int64(1)
+	switch unit {
+	case "B":
+		mult = 1
+	case "KB":
+		mult = storage.KiB
+	case "MB":
+		mult = storage.MiB
+	case "GB":
+		mult = storage.GiB
+	case "TB":
+		mult = storage.TiB
+	default:
+		return 0, false
+	}
+	return int64(v * float64(mult)), true
+}

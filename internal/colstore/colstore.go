@@ -1,0 +1,239 @@
+// Package colstore converts row-major trace logs into a column-major table
+// and provides the filter/group-by/aggregate operations the analyzer is
+// built on.
+//
+// The paper's Analyzer first converts Recorder's row-major logs to parquet
+// "as a necessary first step, as filtering and aggregation operations in
+// memory are highly inefficient for this format", then analyzes them
+// out-of-core with DASK. This package plays the parquet+DASK role: each
+// event field becomes a contiguous typed column, predicates scan single
+// columns, and chunked iteration supports streamed aggregation. The
+// row-vs-column ablation benchmark quantifies the paper's claim.
+package colstore
+
+import (
+	"time"
+
+	"vani/internal/trace"
+)
+
+// Table is a column-major event table. All columns have equal length N.
+type Table struct {
+	N      int
+	Level  []uint8
+	Op     []uint8
+	Lib    []uint8
+	Rank   []int32
+	Node   []int32
+	App    []int32
+	File   []int32
+	Offset []int64
+	Size   []int64
+	Start  []int64 // nanoseconds
+	End    []int64 // nanoseconds
+}
+
+// FromTrace transposes a trace's events into columns.
+func FromTrace(t *trace.Trace) *Table {
+	n := len(t.Events)
+	tb := &Table{
+		N:      n,
+		Level:  make([]uint8, n),
+		Op:     make([]uint8, n),
+		Lib:    make([]uint8, n),
+		Rank:   make([]int32, n),
+		Node:   make([]int32, n),
+		App:    make([]int32, n),
+		File:   make([]int32, n),
+		Offset: make([]int64, n),
+		Size:   make([]int64, n),
+		Start:  make([]int64, n),
+		End:    make([]int64, n),
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		tb.Level[i] = uint8(ev.Level)
+		tb.Op[i] = uint8(ev.Op)
+		tb.Lib[i] = uint8(ev.Lib)
+		tb.Rank[i] = ev.Rank
+		tb.Node[i] = ev.Node
+		tb.App[i] = ev.App
+		tb.File[i] = ev.File
+		tb.Offset[i] = ev.Offset
+		tb.Size[i] = ev.Size
+		tb.Start[i] = int64(ev.Start)
+		tb.End[i] = int64(ev.End)
+	}
+	return tb
+}
+
+// Pred is a row predicate.
+type Pred func(i int) bool
+
+// Indices returns the row indices satisfying pred, in order.
+func (t *Table) Indices(pred Pred) []int {
+	var idx []int
+	for i := 0; i < t.N; i++ {
+		if pred(i) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Select materializes the rows satisfying pred into a new table.
+func (t *Table) Select(pred Pred) *Table {
+	return t.Take(t.Indices(pred))
+}
+
+// Take materializes the given rows into a new table.
+func (t *Table) Take(idx []int) *Table {
+	out := &Table{
+		N:      len(idx),
+		Level:  make([]uint8, len(idx)),
+		Op:     make([]uint8, len(idx)),
+		Lib:    make([]uint8, len(idx)),
+		Rank:   make([]int32, len(idx)),
+		Node:   make([]int32, len(idx)),
+		App:    make([]int32, len(idx)),
+		File:   make([]int32, len(idx)),
+		Offset: make([]int64, len(idx)),
+		Size:   make([]int64, len(idx)),
+		Start:  make([]int64, len(idx)),
+		End:    make([]int64, len(idx)),
+	}
+	for j, i := range idx {
+		out.Level[j] = t.Level[i]
+		out.Op[j] = t.Op[i]
+		out.Lib[j] = t.Lib[i]
+		out.Rank[j] = t.Rank[i]
+		out.Node[j] = t.Node[i]
+		out.App[j] = t.App[i]
+		out.File[j] = t.File[i]
+		out.Offset[j] = t.Offset[i]
+		out.Size[j] = t.Size[i]
+		out.Start[j] = t.Start[i]
+		out.End[j] = t.End[i]
+	}
+	return out
+}
+
+// IsData reports whether row i is a data op (read/write).
+func (t *Table) IsData(i int) bool { return trace.Op(t.Op[i]).IsData() }
+
+// IsMeta reports whether row i is a metadata op.
+func (t *Table) IsMeta(i int) bool { return trace.Op(t.Op[i]).IsMeta() }
+
+// IsIO reports whether row i is an I/O op at all.
+func (t *Table) IsIO(i int) bool { return trace.Op(t.Op[i]).IsIO() }
+
+// Dur returns the duration of row i.
+func (t *Table) Dur(i int) time.Duration {
+	return time.Duration(t.End[i] - t.Start[i])
+}
+
+// SumSize sums the Size column over all rows satisfying pred (nil = all).
+func (t *Table) SumSize(pred Pred) int64 {
+	var sum int64
+	for i := 0; i < t.N; i++ {
+		if pred == nil || pred(i) {
+			sum += t.Size[i]
+		}
+	}
+	return sum
+}
+
+// SumDur sums row durations over rows satisfying pred (nil = all).
+func (t *Table) SumDur(pred Pred) time.Duration {
+	var sum int64
+	for i := 0; i < t.N; i++ {
+		if pred == nil || pred(i) {
+			sum += t.End[i] - t.Start[i]
+		}
+	}
+	return time.Duration(sum)
+}
+
+// Count counts rows satisfying pred (nil = all).
+func (t *Table) Count(pred Pred) int {
+	if pred == nil {
+		return t.N
+	}
+	n := 0
+	for i := 0; i < t.N; i++ {
+		if pred(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// MinStart and MaxEnd return the table's time extent; both return 0 for an
+// empty table.
+func (t *Table) MinStart() time.Duration {
+	if t.N == 0 {
+		return 0
+	}
+	min := t.Start[0]
+	for _, s := range t.Start[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return time.Duration(min)
+}
+
+// MaxEnd returns the latest end time in the table.
+func (t *Table) MaxEnd() time.Duration {
+	var max int64
+	for _, e := range t.End {
+		if e > max {
+			max = e
+		}
+	}
+	return time.Duration(max)
+}
+
+// GroupBy groups row indices by an int32 key column (e.g. File, Rank, App).
+// Keys appear in first-encounter order in the Keys slice so iteration is
+// deterministic.
+type GroupBy struct {
+	Keys   []int32
+	Groups map[int32][]int
+}
+
+// GroupByCol builds groups over the given column, which must be one of the
+// table's int32 columns.
+func (t *Table) GroupByCol(col []int32) *GroupBy {
+	g := &GroupBy{Groups: make(map[int32][]int)}
+	for i := 0; i < t.N; i++ {
+		k := col[i]
+		if _, ok := g.Groups[k]; !ok {
+			g.Keys = append(g.Keys, k)
+		}
+		g.Groups[k] = append(g.Groups[k], i)
+	}
+	return g
+}
+
+// Chunk is one block of rows for out-of-core style processing.
+type Chunk struct {
+	Table *Table
+	Lo    int // first row (inclusive)
+	Hi    int // last row (exclusive)
+}
+
+// ForEachChunk invokes fn over consecutive row blocks of at most chunkSize
+// rows, the streamed-aggregation pattern the paper runs through DASK.
+func (t *Table) ForEachChunk(chunkSize int, fn func(Chunk)) {
+	if chunkSize <= 0 {
+		chunkSize = 1 << 16
+	}
+	for lo := 0; lo < t.N; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > t.N {
+			hi = t.N
+		}
+		fn(Chunk{Table: t, Lo: lo, Hi: hi})
+	}
+}

@@ -1,0 +1,176 @@
+package colstore
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vani/internal/trace"
+)
+
+func sampleTrace() *trace.Trace {
+	tr := trace.NewTracer()
+	app := tr.AppID("app")
+	f1, f2 := tr.FileID("/a"), tr.FileID("/b")
+	mk := func(op trace.Op, rank int32, file int32, size int64, start, end time.Duration) {
+		tr.Record(trace.Event{
+			Level: trace.LevelPosix, Op: op, Rank: rank, Node: rank / 4,
+			App: app, File: file, Size: size, Start: start, End: end,
+		})
+	}
+	mk(trace.OpOpen, 0, f1, 0, 0, time.Millisecond)
+	mk(trace.OpWrite, 0, f1, 4096, time.Millisecond, 3*time.Millisecond)
+	mk(trace.OpWrite, 1, f2, 8192, 2*time.Millisecond, 5*time.Millisecond)
+	mk(trace.OpRead, 1, f2, 1024, 5*time.Millisecond, 6*time.Millisecond)
+	mk(trace.OpClose, 0, f1, 0, 6*time.Millisecond, 7*time.Millisecond)
+	return tr.Finish()
+}
+
+func TestFromTraceTransposes(t *testing.T) {
+	tr := sampleTrace()
+	tb := FromTrace(tr)
+	if tb.N != len(tr.Events) {
+		t.Fatalf("N = %d, want %d", tb.N, len(tr.Events))
+	}
+	for i := range tr.Events {
+		ev := tr.Events[i]
+		if trace.Op(tb.Op[i]) != ev.Op || tb.Rank[i] != ev.Rank ||
+			tb.Size[i] != ev.Size || time.Duration(tb.Start[i]) != ev.Start {
+			t.Fatalf("row %d transposed wrong", i)
+		}
+	}
+}
+
+func TestPredicatesAndAggregates(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	if got := tb.SumSize(tb.IsData); got != 4096+8192+1024 {
+		t.Errorf("data bytes = %d", got)
+	}
+	if got := tb.Count(tb.IsMeta); got != 2 {
+		t.Errorf("meta count = %d", got)
+	}
+	if got := tb.Count(nil); got != tb.N {
+		t.Errorf("nil pred count = %d", got)
+	}
+	writes := tb.Select(func(i int) bool { return trace.Op(tb.Op[i]) == trace.OpWrite })
+	if writes.N != 2 || writes.SumSize(nil) != 4096+8192 {
+		t.Errorf("writes table wrong: N=%d", writes.N)
+	}
+}
+
+func TestSumDur(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	want := 1*time.Millisecond + 2*time.Millisecond + 3*time.Millisecond +
+		1*time.Millisecond + 1*time.Millisecond
+	if got := tb.SumDur(nil); got != want {
+		t.Errorf("SumDur = %v, want %v", got, want)
+	}
+}
+
+func TestTimeExtent(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	if tb.MinStart() != 0 || tb.MaxEnd() != 7*time.Millisecond {
+		t.Errorf("extent = [%v, %v]", tb.MinStart(), tb.MaxEnd())
+	}
+	empty := &Table{}
+	if empty.MinStart() != 0 || empty.MaxEnd() != 0 {
+		t.Error("empty extent not zero")
+	}
+}
+
+func TestGroupByDeterministicOrder(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	g := tb.GroupByCol(tb.File)
+	if len(g.Keys) != 2 {
+		t.Fatalf("groups = %d, want 2", len(g.Keys))
+	}
+	// First-encounter order: file of first event first.
+	if g.Keys[0] != tb.File[0] {
+		t.Error("keys not in first-encounter order")
+	}
+	total := 0
+	for _, rows := range g.Groups {
+		total += len(rows)
+	}
+	if total != tb.N {
+		t.Errorf("group rows = %d, want %d", total, tb.N)
+	}
+}
+
+func TestGroupByRank(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	g := tb.GroupByCol(tb.Rank)
+	if len(g.Groups[0]) != 3 || len(g.Groups[1]) != 2 {
+		t.Errorf("rank groups wrong: %v", g.Groups)
+	}
+}
+
+func TestTakePreservesValues(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	sub := tb.Take([]int{1, 3})
+	if sub.N != 2 || sub.Size[0] != 4096 || sub.Size[1] != 1024 {
+		t.Errorf("Take wrong: %+v", sub.Size)
+	}
+}
+
+func TestForEachChunkCoversAllRows(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	var rows int
+	var chunks int
+	tb.ForEachChunk(2, func(c Chunk) {
+		chunks++
+		rows += c.Hi - c.Lo
+		if c.Hi <= c.Lo {
+			t.Error("empty chunk")
+		}
+	})
+	if rows != tb.N {
+		t.Errorf("chunked rows = %d, want %d", rows, tb.N)
+	}
+	if chunks != 3 { // 5 rows at chunk size 2
+		t.Errorf("chunks = %d, want 3", chunks)
+	}
+}
+
+func TestForEachChunkDefaultSize(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	calls := 0
+	tb.ForEachChunk(0, func(c Chunk) { calls++ })
+	if calls != 1 {
+		t.Errorf("default chunking made %d calls, want 1", calls)
+	}
+}
+
+// Property: chunked aggregation equals whole-table aggregation for any
+// chunk size.
+func TestChunkedAggregationEquivalenceProperty(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	whole := tb.SumSize(nil)
+	f := func(chunkRaw uint8) bool {
+		chunk := int(chunkRaw%7) + 1
+		var sum int64
+		tb.ForEachChunk(chunk, func(c Chunk) {
+			for i := c.Lo; i < c.Hi; i++ {
+				sum += c.Table.Size[i]
+			}
+		})
+		return sum == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Select(p) ∪ Select(!p) partitions the table.
+func TestSelectPartitionProperty(t *testing.T) {
+	tb := FromTrace(sampleTrace())
+	f := func(threshold uint16) bool {
+		p := func(i int) bool { return tb.Size[i] > int64(threshold) }
+		a := tb.Select(p)
+		b := tb.Select(func(i int) bool { return !p(i) })
+		return a.N+b.N == tb.N && a.SumSize(nil)+b.SumSize(nil) == tb.SumSize(nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,862 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"vani/internal/colstore"
+	"vani/internal/stats"
+	"vani/internal/storage"
+	"vani/internal/trace"
+)
+
+// Options configures the analyzer.
+type Options struct {
+	// PhaseGap is the inter-I/O gap that separates two I/O phases
+	// ("defined using a threshold between two I/O calls", Section IV-B).
+	PhaseGap time.Duration
+	// TimelineBins sets the resolution of the figure timelines.
+	TimelineBins int
+	// Storage, when non-nil, fills the storage entities (Tables VIII/IX)
+	// from the system the job ran against.
+	Storage *storage.Config
+	// TopFlows limits the dependency panel to the N highest-volume files.
+	TopFlows int
+}
+
+// DefaultOptions returns the analyzer settings used for the paper tables.
+func DefaultOptions() Options {
+	return Options{
+		PhaseGap:     time.Second,
+		TimelineBins: 64,
+		TopFlows:     8,
+	}
+}
+
+// Analyze builds the full characterization from a trace.
+func Analyze(tr *trace.Trace, opt Options) *Characterization {
+	if opt.PhaseGap <= 0 {
+		opt.PhaseGap = time.Second
+	}
+	if opt.TimelineBins <= 0 {
+		opt.TimelineBins = 64
+	}
+	if opt.TopFlows <= 0 {
+		opt.TopFlows = 8
+	}
+	a := &analysis{tr: tr, tb: colstore.FromTrace(tr), opt: opt}
+	return a.run()
+}
+
+type analysis struct {
+	tr  *trace.Trace
+	tb  *colstore.Table
+	opt Options
+
+	runtime time.Duration
+	primary []int // row indices at each app's primary (app-facing) level
+
+	fileAgg map[int32]*fileAgg
+}
+
+type fileAgg struct {
+	id           int32
+	ranks        map[int32]bool
+	writerRanks  map[int32]bool
+	readerRanks  map[int32]bool
+	writerNodes  map[int32]bool
+	readerNodes  map[int32]bool
+	writerApps   map[int32]bool
+	readerApps   map[int32]bool
+	bytesRead    int64
+	bytesWritten int64
+	opens        int64
+	dataOps      int64
+	metaOps      int64
+	ioDur        time.Duration
+}
+
+func (a *analysis) run() *Characterization {
+	a.runtime = a.tr.JobRuntime()
+	a.primary = a.primaryRows()
+	a.fileAgg = a.aggregateFiles()
+
+	c := &Characterization{Workload: a.tr.Meta.Workload}
+	c.JobConfig = a.jobConfig()
+	c.Apps = a.apps()
+	c.Workflow = a.workflow(c.Apps)
+	c.Phases = a.phases()
+	c.HighLevel = a.highLevel()
+	c.Middleware = a.middleware()
+	c.NodeLocal, c.Shared = a.storageEntities()
+	c.Dataset = a.dataset()
+	c.File = a.fileEntity()
+	c.Figure = a.figure()
+	return c
+}
+
+type appFile struct {
+	app  int32
+	file int32
+}
+
+// primaryLevels returns, per (application, file) stream, the app-facing
+// level: the highest abstraction through which that application touched
+// that file. Counting at this level avoids double-counting the same
+// logical operation across layers, while keeping POSIX-only traffic of an
+// otherwise-buffered application (e.g. mViewer reading mosaics directly)
+// visible.
+func (a *analysis) primaryLevels() map[appFile]uint8 {
+	lv := make(map[appFile]uint8)
+	for i := 0; i < a.tb.N; i++ {
+		if !a.tb.IsIO(i) {
+			continue
+		}
+		k := appFile{a.tb.App[i], a.tb.File[i]}
+		cur, ok := lv[k]
+		if !ok || a.tb.Level[i] < cur {
+			lv[k] = a.tb.Level[i]
+		}
+	}
+	return lv
+}
+
+// primaryRows returns the rows at each (app, file) stream's primary level.
+func (a *analysis) primaryRows() []int {
+	levels := a.primaryLevels()
+	var idx []int
+	for i := 0; i < a.tb.N; i++ {
+		if a.tb.IsIO(i) && a.tb.Level[i] == levels[appFile{a.tb.App[i], a.tb.File[i]}] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func (a *analysis) aggregateFiles() map[int32]*fileAgg {
+	m := make(map[int32]*fileAgg)
+	get := func(f int32) *fileAgg {
+		fa := m[f]
+		if fa == nil {
+			fa = &fileAgg{
+				id:          f,
+				ranks:       map[int32]bool{},
+				writerRanks: map[int32]bool{},
+				readerRanks: map[int32]bool{},
+				writerNodes: map[int32]bool{},
+				readerNodes: map[int32]bool{},
+				writerApps:  map[int32]bool{},
+				readerApps:  map[int32]bool{},
+			}
+			m[f] = fa
+		}
+		return fa
+	}
+	for _, i := range a.primary {
+		f := a.tb.File[i]
+		if f < 0 {
+			continue
+		}
+		fa := get(f)
+		fa.ranks[a.tb.Rank[i]] = true
+		fa.ioDur += a.tb.Dur(i)
+		switch trace.Op(a.tb.Op[i]) {
+		case trace.OpRead:
+			fa.bytesRead += a.tb.Size[i]
+			fa.readerRanks[a.tb.Rank[i]] = true
+			fa.readerNodes[a.tb.Node[i]] = true
+			fa.readerApps[a.tb.App[i]] = true
+			fa.dataOps++
+		case trace.OpWrite:
+			fa.bytesWritten += a.tb.Size[i]
+			fa.writerRanks[a.tb.Rank[i]] = true
+			fa.writerNodes[a.tb.Node[i]] = true
+			fa.writerApps[a.tb.App[i]] = true
+			fa.dataOps++
+		case trace.OpOpen:
+			fa.opens++
+			fa.metaOps++
+		default:
+			fa.metaOps++
+		}
+	}
+	return m
+}
+
+func (a *analysis) jobConfig() JobConfigEntity {
+	m := a.tr.Meta
+	return JobConfigEntity{
+		Nodes:           m.Nodes,
+		CPUCoresPerNode: m.CoresPerNode,
+		GPUsPerNode:     m.GPUsPerNode,
+		NodeLocalBBDir:  m.NodeLocalDir,
+		SharedBBDir:     m.SharedBBDir,
+		PFSDir:          m.PFSDir,
+		JobTime:         m.JobTimeLimit,
+	}
+}
+
+// opCounts tallies data and meta ops over a row subset.
+func (a *analysis) opCounts(rows []int) (data, meta int64) {
+	for _, i := range rows {
+		if a.tb.IsData(i) {
+			data++
+		} else if a.tb.IsMeta(i) {
+			meta++
+		}
+	}
+	return
+}
+
+func pcts(data, meta int64) (float64, float64) {
+	total := data + meta
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(data) / float64(total), float64(meta) / float64(total)
+}
+
+// unionDuration merges [start,end) intervals of the given rows and returns
+// the total covered time — the workload's I/O wall-clock.
+func (a *analysis) unionDuration(rows []int) time.Duration {
+	if len(rows) == 0 {
+		return 0
+	}
+	type iv struct{ s, e int64 }
+	ivs := make([]iv, 0, len(rows))
+	for _, i := range rows {
+		ivs = append(ivs, iv{a.tb.Start[i], a.tb.End[i]})
+	}
+	sort.Slice(ivs, func(x, y int) bool { return ivs[x].s < ivs[y].s })
+	var total, curS, curE int64
+	curS, curE = ivs[0].s, ivs[0].e
+	for _, v := range ivs[1:] {
+		if v.s > curE {
+			total += curE - curS
+			curS, curE = v.s, v.e
+		} else if v.e > curE {
+			curE = v.e
+		}
+	}
+	total += curE - curS
+	return time.Duration(total)
+}
+
+// dominantSize returns the most frequent exact transfer size among the
+// given data rows (ties break toward the larger size).
+func (a *analysis) dominantSize(rows []int, op trace.Op) int64 {
+	counts := map[int64]int64{}
+	for _, i := range rows {
+		if trace.Op(a.tb.Op[i]) == op && a.tb.Size[i] > 0 {
+			counts[a.tb.Size[i]]++
+		}
+	}
+	var best int64
+	var bestN int64 = -1
+	for sz, n := range counts {
+		if n > bestN || (n == bestN && sz > best) {
+			best, bestN = sz, n
+		}
+	}
+	if bestN <= 0 {
+		return 0
+	}
+	return best
+}
+
+// interfaceName maps the dominant library of a row set to the table name.
+func (a *analysis) interfaceName(rows []int) string {
+	counts := map[trace.Lib]int64{}
+	for _, i := range rows {
+		counts[trace.Lib(a.tb.Lib[i])]++
+	}
+	var best trace.Lib
+	var bestN int64 = -1
+	for lib, n := range counts {
+		if lib == trace.LibNone {
+			continue
+		}
+		if n > bestN {
+			best, bestN = lib, n
+		}
+	}
+	if bestN <= 0 {
+		return "none"
+	}
+	if best == trace.LibHDF5 {
+		return "HDF5 (MPI-IO)"
+	}
+	return best.String()
+}
+
+// accessPattern classifies offsets per (file, rank) stream: sequential if
+// at least 80% of consecutive data accesses are non-decreasing in offset.
+func (a *analysis) accessPattern(rows []int) string {
+	type key struct {
+		f int32
+		r int32
+	}
+	last := map[key]int64{}
+	var seq, total int64
+	for _, i := range rows {
+		if !a.tb.IsData(i) || a.tb.File[i] < 0 {
+			continue
+		}
+		k := key{a.tb.File[i], a.tb.Rank[i]}
+		if prev, ok := last[k]; ok {
+			total++
+			if a.tb.Offset[i] >= prev {
+				seq++
+			}
+		}
+		last[k] = a.tb.Offset[i]
+	}
+	if total == 0 || float64(seq)/float64(total) >= 0.8 {
+		return "Seq"
+	}
+	return "Random"
+}
+
+func (a *analysis) apps() []AppEntity {
+	byApp := map[int32][]int{}
+	var order []int32
+	for _, i := range a.primary {
+		app := a.tb.App[i]
+		if _, ok := byApp[app]; !ok {
+			order = append(order, app)
+		}
+		byApp[app] = append(byApp[app], i)
+	}
+	sort.Slice(order, func(x, y int) bool { return order[x] < order[y] })
+
+	var out []AppEntity
+	for _, app := range order {
+		rows := byApp[app]
+		data, meta := a.opCounts(rows)
+		dPct, mPct := pcts(data, meta)
+		var bytes int64
+		var minS, maxE int64
+		minS = 1<<63 - 1
+		for _, i := range rows {
+			if a.tb.IsData(i) {
+				bytes += a.tb.Size[i]
+			}
+			if a.tb.Start[i] < minS {
+				minS = a.tb.Start[i]
+			}
+			if a.tb.End[i] > maxE {
+				maxE = a.tb.End[i]
+			}
+		}
+		// Processes counts every rank that emitted any event for the app,
+		// including pure compute ranks (the paper's per-app process count).
+		ranks := map[int32]bool{}
+		for i := 0; i < a.tb.N; i++ {
+			if a.tb.App[i] == app {
+				ranks[a.tb.Rank[i]] = true
+			}
+		}
+		fpp, shared := a.fileSplitForApp(app)
+		out = append(out, AppEntity{
+			Name:        a.tr.AppName(app),
+			Processes:   len(ranks),
+			ProcDep:     a.procDep(app),
+			FPPFiles:    fpp,
+			SharedFiles: shared,
+			IOBytes:     bytes,
+			DataOpsPct:  dPct,
+			MetaOpsPct:  mPct,
+			Interface:   a.interfaceName(rows),
+			Runtime:     time.Duration(maxE - minS),
+		})
+	}
+	return out
+}
+
+// fileSplitForApp counts FPP vs shared files among files the app touched.
+func (a *analysis) fileSplitForApp(app int32) (fpp, shared int) {
+	for _, fa := range a.fileAgg {
+		if !fa.readerApps[app] && !fa.writerApps[app] {
+			continue
+		}
+		if len(fa.ranks) == 1 {
+			fpp++
+		} else {
+			shared++
+		}
+	}
+	return
+}
+
+// procDep classifies the dominant process/data relationship of an app.
+func (a *analysis) procDep(app int32) ProcDepKind {
+	var solo, singleWriter, sharedRead, pipeline int
+	for _, fa := range a.fileAgg {
+		if !fa.readerApps[app] && !fa.writerApps[app] {
+			continue
+		}
+		switch {
+		case len(fa.ranks) == 1:
+			solo++
+		case len(fa.writerRanks) == 1 && len(fa.ranks) > 1:
+			singleWriter++
+		case len(fa.writerRanks) == 0 && len(fa.readerRanks) > 1:
+			sharedRead++
+		default:
+			pipeline++
+		}
+	}
+	max, kind := solo, DepFilePerProcess
+	if singleWriter > max {
+		max, kind = singleWriter, DepSingleWriter
+	}
+	if sharedRead > max {
+		max, kind = sharedRead, DepSharedRead
+	}
+	if pipeline > max {
+		kind = DepPipeline
+	}
+	return kind
+}
+
+func (a *analysis) workflow(apps []AppEntity) WorkflowEntity {
+	data, meta := a.opCounts(a.primary)
+	dPct, mPct := pcts(data, meta)
+	var read, written int64
+	for _, i := range a.primary {
+		switch trace.Op(a.tb.Op[i]) {
+		case trace.OpRead:
+			read += a.tb.Size[i]
+		case trace.OpWrite:
+			written += a.tb.Size[i]
+		}
+	}
+	var fpp, shared int
+	for _, fa := range a.fileAgg {
+		if len(fa.ranks) == 1 {
+			fpp++
+		} else {
+			shared++
+		}
+	}
+	ranksPerNode := 0
+	if a.tr.Meta.Nodes > 0 {
+		ranksPerNode = a.tr.Meta.Ranks / a.tr.Meta.Nodes
+	}
+	gpus := 0
+	for i := 0; i < a.tb.N; i++ {
+		if trace.Op(a.tb.Op[i]) == trace.OpGPUCompute {
+			gpus = a.tr.Meta.GPUsPerNode
+			break
+		}
+	}
+	crossRAW := false
+	for _, fa := range a.fileAgg {
+		if len(fa.writerNodes) == 0 || len(fa.readerNodes) == 0 {
+			continue
+		}
+		for rn := range fa.readerNodes {
+			if !fa.writerNodes[rn] || len(fa.writerNodes) > 1 {
+				crossRAW = true
+			}
+		}
+	}
+	return WorkflowEntity{
+		CPUCoresUsedPerNode: ranksPerNode,
+		GPUsUsedPerNode:     gpus,
+		NumApps:             len(apps),
+		AppDeps:             a.appDeps(),
+		FPPFiles:            fpp,
+		SharedFiles:         shared,
+		IOBytes:             read + written,
+		ReadBytes:           read,
+		WriteBytes:          written,
+		DataOpsPct:          dPct,
+		MetaOpsPct:          mPct,
+		CrossNodeRAW:        crossRAW,
+		IOTime:              a.unionDuration(a.primary),
+		Runtime:             a.runtime,
+	}
+}
+
+// appDeps derives the application-level data-dependency edges: consumer
+// apps reading files that producer apps wrote.
+func (a *analysis) appDeps() []AppDep {
+	type key struct{ prod, cons int32 }
+	agg := map[key]*AppDep{}
+	var order []key
+	for _, fa := range a.fileAgg {
+		for prod := range fa.writerApps {
+			for cons := range fa.readerApps {
+				if prod == cons {
+					continue
+				}
+				k := key{prod, cons}
+				d := agg[k]
+				if d == nil {
+					d = &AppDep{
+						Producer: a.tr.AppName(prod),
+						Consumer: a.tr.AppName(cons),
+					}
+					agg[k] = d
+					order = append(order, k)
+				}
+				d.Bytes += fa.bytesRead
+				d.Files++
+			}
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if order[x].prod != order[y].prod {
+			return order[x].prod < order[y].prod
+		}
+		return order[x].cons < order[y].cons
+	})
+	out := make([]AppDep, 0, len(order))
+	for _, k := range order {
+		out = append(out, *agg[k])
+	}
+	return out
+}
+
+// phases splits the primary I/O rows into activity bursts separated by
+// more than the gap threshold, then characterizes each burst (Table V).
+func (a *analysis) phases() []IOPhaseEntity {
+	if len(a.primary) == 0 {
+		return nil
+	}
+	rows := append([]int(nil), a.primary...)
+	sort.Slice(rows, func(x, y int) bool { return a.tb.Start[rows[x]] < a.tb.Start[rows[y]] })
+
+	gap := int64(a.opt.PhaseGap)
+	var phases []IOPhaseEntity
+	var cur []int
+	var curEnd int64
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		phases = append(phases, a.buildPhase(len(phases), cur))
+		cur = nil
+	}
+	for _, i := range rows {
+		if len(cur) > 0 && a.tb.Start[i]-curEnd > gap {
+			flush()
+		}
+		cur = append(cur, i)
+		if a.tb.End[i] > curEnd {
+			curEnd = a.tb.End[i]
+		}
+	}
+	flush()
+	return phases
+}
+
+func (a *analysis) buildPhase(idx int, rows []int) IOPhaseEntity {
+	data, meta := a.opCounts(rows)
+	dPct, mPct := pcts(data, meta)
+	var bytes int64
+	ranks := map[int32]bool{}
+	minS, maxE := a.tb.Start[rows[0]], int64(0)
+	for _, i := range rows {
+		if a.tb.IsData(i) {
+			bytes += a.tb.Size[i]
+		}
+		ranks[a.tb.Rank[i]] = true
+		if a.tb.Start[i] < minS {
+			minS = a.tb.Start[i]
+		}
+		if a.tb.End[i] > maxE {
+			maxE = a.tb.End[i]
+		}
+	}
+	opsPerRank := float64(len(rows)) / float64(len(ranks))
+	granule := a.dominantSize(rows, trace.OpRead)
+	if g := a.dominantSize(rows, trace.OpWrite); granule == 0 || (g != 0 && data > 0 && g > 0 && a.countOp(rows, trace.OpWrite) > a.countOp(rows, trace.OpRead)) {
+		granule = g
+	}
+	return IOPhaseEntity{
+		Index:      idx,
+		Start:      time.Duration(minS),
+		End:        time.Duration(maxE),
+		IOBytes:    bytes,
+		DataOpsPct: dPct,
+		MetaOpsPct: mPct,
+		OpsPerRank: opsPerRank,
+		Granule:    granule,
+		Frequency:  phaseLabel(opsPerRank, granule),
+		Runtime:    time.Duration(maxE - minS),
+	}
+}
+
+func (a *analysis) countOp(rows []int, op trace.Op) int64 {
+	var n int64
+	for _, i := range rows {
+		if trace.Op(a.tb.Op[i]) == op {
+			n++
+		}
+	}
+	return n
+}
+
+// phaseLabel renders the paper's "Frequency" attribute: a handful of ops
+// per rank prints as "N ops/rank"; dense bursts of small ops are
+// "Iterative"; dense bursts of larger ops are "Bulk".
+func phaseLabel(opsPerRank float64, granule int64) string {
+	switch {
+	case opsPerRank <= 1.5:
+		return "1 op"
+	case opsPerRank <= 16:
+		return itoa(int(opsPerRank+0.5)) + " ops/rank"
+	case granule > 0 && granule <= 16*1024:
+		return "Iterative (" + sizeStr(granule) + ")"
+	default:
+		return "Bulk (" + sizeStr(granule) + ")"
+	}
+}
+
+func (a *analysis) highLevel() HighLevelIOEntity {
+	// Data representation: dominant dimensionality weighted by file I/O.
+	dims := map[int]int64{}
+	for _, fa := range a.fileAgg {
+		info := a.tr.Files[fa.id]
+		if info.NDims > 0 {
+			dims[info.NDims] += fa.bytesRead + fa.bytesWritten + 1
+		}
+	}
+	bestDim, bestW := 0, int64(-1)
+	for d, w := range dims {
+		if w > bestW {
+			bestDim, bestW = d, w
+		}
+	}
+	repr := "unknown"
+	if bestDim > 0 {
+		repr = itoa(bestDim) + "D"
+	}
+	return HighLevelIOEntity{
+		DataRepr: repr,
+		Granularity: Granularity{
+			Read:  a.dominantSize(a.primary, trace.OpRead),
+			Write: a.dominantSize(a.primary, trace.OpWrite),
+		},
+		AccessPattern: a.accessPattern(a.primary),
+		DataDist:      a.dataDist(),
+	}
+}
+
+func (a *analysis) dataDist() stats.DistKind {
+	var values []float64
+	for _, s := range a.tr.Samples {
+		values = append(values, s.Values...)
+	}
+	return stats.FitDistribution(values)
+}
+
+func (a *analysis) middleware() MiddlewareIOEntity {
+	// POSIX-visible rows: what reaches storage after middleware.
+	var posix []int
+	for i := 0; i < a.tb.N; i++ {
+		if a.tb.IsIO(i) && trace.Level(a.tb.Level[i]) == trace.LevelPosix {
+			posix = append(posix, i)
+		}
+	}
+	ranksPerNode := 0
+	if a.tr.Meta.Nodes > 0 {
+		ranksPerNode = a.tr.Meta.Ranks / a.tr.Meta.Nodes
+	}
+	extra := a.tr.Meta.CoresPerNode - ranksPerNode
+	if extra < 0 {
+		extra = 0
+	}
+	return MiddlewareIOEntity{
+		ExtraIOCoresPerNode: extra,
+		Granularity: Granularity{
+			Read:  a.dominantSize(posix, trace.OpRead),
+			Write: a.dominantSize(posix, trace.OpWrite),
+		},
+		MemPerNodeGB:  a.tr.Meta.MemPerNodeGB,
+		AccessPattern: a.accessPattern(posix),
+	}
+}
+
+func (a *analysis) storageEntities() (NodeLocalEntity, SharedStorageEntity) {
+	var nl NodeLocalEntity
+	var sh SharedStorageEntity
+	nl.Dir = a.tr.Meta.NodeLocalDir
+	sh.Dir = a.tr.Meta.PFSDir
+	if cfg := a.opt.Storage; cfg != nil {
+		nl.ParallelOps = cfg.NodeLocalParallel
+		nl.CapacityBytes = cfg.NodeLocalCapacity
+		nl.MaxBWPerNode = cfg.NodeLocalBW
+		sh.ParallelServers = cfg.PFSServers
+		sh.CapacityBytes = cfg.PFSCapacity
+		sh.MaxBW = cfg.PFSServerBW * int64(cfg.PFSServers)
+	}
+	return nl, sh
+}
+
+func (a *analysis) dataset() DatasetEntity {
+	formats := map[string]int64{}
+	var totalSize int64
+	var dataFileSize, metaFileSize int64
+	for _, fa := range a.fileAgg {
+		info := a.tr.Files[fa.id]
+		formats[info.Format]++
+		totalSize += info.Size
+		if info.Size >= 1<<20 {
+			if info.Size > dataFileSize {
+				dataFileSize = info.Size
+			}
+		} else if info.Size > metaFileSize {
+			metaFileSize = info.Size
+		}
+	}
+	bestFmt, bestN := "", int64(-1)
+	for f, n := range formats {
+		if n > bestN || (n == bestN && f > bestFmt) {
+			bestFmt, bestN = f, n
+		}
+	}
+	data, meta := a.opCounts(a.primary)
+	dPct, mPct := pcts(data, meta)
+	var io int64
+	for _, fa := range a.fileAgg {
+		io += fa.bytesRead + fa.bytesWritten
+	}
+	return DatasetEntity{
+		Format:       bestFmt,
+		SizeBytes:    totalSize,
+		NumFiles:     len(a.fileAgg),
+		IOBytes:      io,
+		IOTime:       a.unionDuration(a.primary),
+		DataOpsPct:   dPct,
+		MetaOpsPct:   mPct,
+		DataFileSize: dataFileSize,
+		MetaFileSize: metaFileSize,
+		DataDist:     a.dataDist(),
+	}
+}
+
+func (a *analysis) fileEntity() FileEntity {
+	// Representative data file: the one with the highest I/O volume.
+	var best *fileAgg
+	for _, fa := range a.fileAgg {
+		if best == nil || fa.bytesRead+fa.bytesWritten > best.bytesRead+best.bytesWritten {
+			best = fa
+		}
+	}
+	if best == nil {
+		return FileEntity{}
+	}
+	info := a.tr.Files[best.id]
+	dPct, mPct := pcts(best.dataOps, best.metaOps)
+	enc := ""
+	if info.Format == "fits" {
+		enc = "FITS"
+	}
+	return FileEntity{
+		Path:       info.Path,
+		Format:     info.Format,
+		SizeBytes:  info.Size,
+		IOBytes:    best.bytesRead + best.bytesWritten,
+		IOTime:     best.ioDur,
+		DataOpsPct: dPct,
+		MetaOpsPct: mPct,
+		Attrs: FileFormatAttrs{
+			Chunked:   false,
+			NDatasets: 1,
+			NDims:     info.NDims,
+			DataType:  info.DataType,
+			Encoding:  enc,
+		},
+	}
+}
+
+func (a *analysis) figure() FigureData {
+	fig := FigureData{}
+	span := a.runtime
+	if span <= 0 {
+		span = time.Second
+	}
+	fig.ReadTL = stats.NewTimeline(span, a.opt.TimelineBins)
+	fig.WriteTL = stats.NewTimeline(span, a.opt.TimelineBins)
+	for _, i := range a.primary {
+		d := a.tb.Dur(i)
+		switch trace.Op(a.tb.Op[i]) {
+		case trace.OpRead:
+			fig.ReadHist.Add(a.tb.Size[i], d)
+			fig.ReadTL.Add(time.Duration(a.tb.Start[i]), time.Duration(a.tb.End[i]), a.tb.Size[i])
+		case trace.OpWrite:
+			fig.WriteHist.Add(a.tb.Size[i], d)
+			fig.WriteTL.Add(time.Duration(a.tb.Start[i]), time.Duration(a.tb.End[i]), a.tb.Size[i])
+		}
+	}
+	// Per-rank achieved bandwidth (Figure 2c).
+	type rankAcc struct {
+		rBytes, wBytes int64
+		rDur, wDur     int64
+	}
+	perRank := map[int32]*rankAcc{}
+	var rankOrder []int32
+	for _, i := range a.primary {
+		r := a.tb.Rank[i]
+		acc := perRank[r]
+		if acc == nil {
+			acc = &rankAcc{}
+			perRank[r] = acc
+			rankOrder = append(rankOrder, r)
+		}
+		switch trace.Op(a.tb.Op[i]) {
+		case trace.OpRead:
+			acc.rBytes += a.tb.Size[i]
+			acc.rDur += a.tb.End[i] - a.tb.Start[i]
+		case trace.OpWrite:
+			acc.wBytes += a.tb.Size[i]
+			acc.wDur += a.tb.End[i] - a.tb.Start[i]
+		}
+	}
+	sort.Slice(rankOrder, func(x, y int) bool { return rankOrder[x] < rankOrder[y] })
+	for _, r := range rankOrder {
+		acc := perRank[r]
+		rb := RankBandwidth{Rank: r}
+		if acc.rDur > 0 {
+			rb.ReadBW = float64(acc.rBytes) / (float64(acc.rDur) / float64(time.Second))
+		}
+		if acc.wDur > 0 {
+			rb.WriteBW = float64(acc.wBytes) / (float64(acc.wDur) / float64(time.Second))
+		}
+		fig.RankBW = append(fig.RankBW, rb)
+	}
+
+	// Dependency panel: highest-volume files.
+	flows := make([]*fileAgg, 0, len(a.fileAgg))
+	for _, fa := range a.fileAgg {
+		flows = append(flows, fa)
+	}
+	sort.Slice(flows, func(x, y int) bool {
+		bx := flows[x].bytesRead + flows[x].bytesWritten
+		by := flows[y].bytesRead + flows[y].bytesWritten
+		if bx != by {
+			return bx > by
+		}
+		return flows[x].id < flows[y].id
+	})
+	if len(flows) > a.opt.TopFlows {
+		flows = flows[:a.opt.TopFlows]
+	}
+	for _, fa := range flows {
+		fig.TopFlows = append(fig.TopFlows, FileFlow{
+			Path:         a.tr.Files[fa.id].Path,
+			WriterRanks:  len(fa.writerRanks),
+			ReaderRanks:  len(fa.readerRanks),
+			BytesWritten: fa.bytesWritten,
+			BytesRead:    fa.bytesRead,
+			Opens:        fa.opens,
+		})
+	}
+	return fig
+}
+
+// itoa forwards to util.go's formatter.
+func itoa(n int) string { return intToString(n) }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Delta is one attribute that changed between two characterizations.
+type Delta struct {
+	Attribute string
+	Before    string
+	After     string
+	// Factor is after/before for numeric attributes (0 when not numeric
+	// or before is zero).
+	Factor float64
+}
+
+// Compare diffs two characterizations attribute by attribute — the
+// before/after view of a storage reconfiguration (e.g. the Figure 7/8
+// case studies, where the optimized run's I/O time, target mix, and op
+// distribution all shift). Unchanged attributes are omitted.
+func Compare(before, after *Characterization) []Delta {
+	var ds []Delta
+	num := func(attr string, b, a float64, format func(float64) string) {
+		if b == a {
+			return
+		}
+		d := Delta{Attribute: attr, Before: format(b), After: format(a)}
+		if b != 0 {
+			d.Factor = a / b
+		}
+		ds = append(ds, d)
+	}
+	str := func(attr, b, a string) {
+		if b == a {
+			return
+		}
+		ds = append(ds, Delta{Attribute: attr, Before: b, After: a})
+	}
+	durFmt := func(v float64) string { return time.Duration(v).Round(time.Millisecond).String() }
+	byteFmt := func(v float64) string { return sizeStr(int64(v)) }
+	intFmt := func(v float64) string { return fmt.Sprintf("%d", int64(v)) }
+	pctFmt := func(v float64) string { return fmt.Sprintf("%d%%", int(v*100+0.5)) }
+
+	num("workflow.runtime", float64(before.Workflow.Runtime), float64(after.Workflow.Runtime), durFmt)
+	num("workflow.io_time", float64(before.Workflow.IOTime), float64(after.Workflow.IOTime), durFmt)
+	num("workflow.io_bytes", float64(before.Workflow.IOBytes), float64(after.Workflow.IOBytes), byteFmt)
+	num("workflow.read_bytes", float64(before.Workflow.ReadBytes), float64(after.Workflow.ReadBytes), byteFmt)
+	num("workflow.write_bytes", float64(before.Workflow.WriteBytes), float64(after.Workflow.WriteBytes), byteFmt)
+	num("workflow.meta_ops_pct", before.Workflow.MetaOpsPct, after.Workflow.MetaOpsPct, pctFmt)
+	num("workflow.fpp_files", float64(before.Workflow.FPPFiles), float64(after.Workflow.FPPFiles), intFmt)
+	num("workflow.shared_files", float64(before.Workflow.SharedFiles), float64(after.Workflow.SharedFiles), intFmt)
+	num("phases.count", float64(len(before.Phases)), float64(len(after.Phases)), intFmt)
+	str("highlevel.access_pattern", before.HighLevel.AccessPattern, after.HighLevel.AccessPattern)
+	str("highlevel.data_dist", string(before.HighLevel.DataDist), string(after.HighLevel.DataDist))
+	num("highlevel.read_granularity",
+		float64(before.HighLevel.Granularity.Read), float64(after.HighLevel.Granularity.Read), byteFmt)
+	num("highlevel.write_granularity",
+		float64(before.HighLevel.Granularity.Write), float64(after.HighLevel.Granularity.Write), byteFmt)
+	str("dataset.format", before.Dataset.Format, after.Dataset.Format)
+	num("dataset.num_files", float64(before.Dataset.NumFiles), float64(after.Dataset.NumFiles), intFmt)
+	num("dataset.io_time", float64(before.Dataset.IOTime), float64(after.Dataset.IOTime), durFmt)
+	str("file.path", before.File.Path, after.File.Path)
+	return ds
+}
+
+// Speedup extracts the I/O-time improvement factor from a comparison, the
+// headline number of the case studies (before/after, so >1 is faster).
+func Speedup(before, after *Characterization) float64 {
+	if after.Workflow.IOTime == 0 {
+		return 0
+	}
+	return float64(before.Workflow.IOTime) / float64(after.Workflow.IOTime)
+}

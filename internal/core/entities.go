@@ -1,0 +1,247 @@
+// Package core implements the paper's contribution: the systematic
+// characterization of HPC workload I/O behavior into entities and
+// attributes that a storage system can consume to configure itself.
+//
+// A workload characterization is organized exactly as Section IV-B
+// proposes, into three entity groups:
+//
+//   - Job entities: job configuration (Table II), workflow (Table III),
+//     per-application (Table IV), and I/O phases (Table V).
+//   - Software entities: high-level I/O (Table VI), middleware (Table
+//     VII), node-local storage (Table VIII), and shared storage (Table
+//     IX).
+//   - Data entities: dataset (Table X) and file (Table XI).
+//
+// The Analyzer builds all of them from a Recorder-style trace (via the
+// colstore columnar representation), plus the storage configuration the
+// job ran against. The result can be rendered as the paper's tables,
+// marshaled to YAML for a storage system to load, or fed to the advisor
+// package for optimization mapping.
+package core
+
+import (
+	"time"
+
+	"vani/internal/stats"
+)
+
+// Characterization is the complete entity/attribute description of one
+// workload execution.
+type Characterization struct {
+	Workload string
+
+	// Job entity group.
+	JobConfig JobConfigEntity // Table II
+	Workflow  WorkflowEntity  // Table III
+	Apps      []AppEntity     // Table IV, one per application
+	Phases    []IOPhaseEntity // Table V, in time order
+
+	// Software entity group.
+	HighLevel  HighLevelIOEntity   // Table VI
+	Middleware MiddlewareIOEntity  // Table VII
+	NodeLocal  NodeLocalEntity     // Table VIII
+	Shared     SharedStorageEntity // Table IX
+
+	// Data entity group.
+	Dataset DatasetEntity // Table X
+	File    FileEntity    // Table XI (representative data file)
+
+	// Figure panels (request-size/bandwidth histograms, dependencies,
+	// timelines) for the workload's figure in Figures 1-6. They are
+	// rendering data, not attributes, so the YAML artifact omits them.
+	Figure FigureData `yaml:"-"`
+}
+
+// JobConfigEntity holds the scheduler-level attributes of Table II.
+type JobConfigEntity struct {
+	Nodes           int
+	CPUCoresPerNode int
+	GPUsPerNode     int
+	NodeLocalBBDir  string
+	SharedBBDir     string // "" renders as NA
+	PFSDir          string
+	JobTime         time.Duration // requested wall time
+}
+
+// AppDep is one application-level data-dependency edge: Consumer read
+// Bytes that Producer wrote.
+type AppDep struct {
+	Producer string
+	Consumer string
+	Bytes    int64
+	Files    int
+}
+
+// WorkflowEntity holds the workflow-scope attributes of Table III.
+type WorkflowEntity struct {
+	CPUCoresUsedPerNode int
+	GPUsUsedPerNode     int
+	NumApps             int
+	AppDeps             []AppDep
+	FPPFiles            int // files accessed by exactly one rank
+	SharedFiles         int // files accessed by more than one rank
+	IOBytes             int64
+	ReadBytes           int64
+	WriteBytes          int64
+	DataOpsPct          float64
+	MetaOpsPct          float64
+	// CrossNodeRAW reports whether any file written on one node is read
+	// on a different node within the job — the synchronization-point
+	// attribute Section IV-D2 says async I/O optimizations must respect.
+	CrossNodeRAW bool
+	IOTime       time.Duration // union of I/O activity intervals
+	Runtime      time.Duration
+}
+
+// ProcDepKind classifies the process/data dependency of an application
+// (the Figures 1b-6b panels, summarized).
+type ProcDepKind string
+
+// Process-dependency kinds.
+const (
+	DepFilePerProcess ProcDepKind = "file-per-process"  // each file one rank
+	DepSingleWriter   ProcDepKind = "single-writer"     // one rank writes, many open/read
+	DepSharedRead     ProcDepKind = "shared-read"       // many ranks read shared files
+	DepPipeline       ProcDepKind = "producer-consumer" // files written then read by others
+	DepMixed          ProcDepKind = "mixed"
+)
+
+// AppEntity holds the per-application attributes of Table IV.
+type AppEntity struct {
+	Name        string
+	Processes   int
+	ProcDep     ProcDepKind
+	FPPFiles    int
+	SharedFiles int
+	IOBytes     int64
+	DataOpsPct  float64
+	MetaOpsPct  float64
+	Interface   string // POSIX / STDIO / MPI-IO / HDF5 (MPI-IO)
+	Runtime     time.Duration
+}
+
+// IOPhaseEntity holds the per-phase attributes of Table V. A phase is a
+// maximal burst of I/O activity separated from its neighbors by more than
+// the analyzer's gap threshold.
+type IOPhaseEntity struct {
+	Index      int
+	Start, End time.Duration
+	IOBytes    int64
+	DataOpsPct float64
+	MetaOpsPct float64
+	OpsPerRank float64
+	Granule    int64  // dominant transfer size within the phase
+	Frequency  string // "Bulk (64KB)" or "Iterative (1MB)" style label
+	Runtime    time.Duration
+}
+
+// Granularity is a (read, write) dominant-transfer-size pair; the paper's
+// tables print e.g. "4KB-16MB" for CM1 (4KB writes, 16MB reads).
+type Granularity struct {
+	Read  int64
+	Write int64
+}
+
+// HighLevelIOEntity holds the high-level I/O library attributes of
+// Table VI.
+type HighLevelIOEntity struct {
+	DataRepr      string // "1D".."4D"
+	Granularity   Granularity
+	AccessPattern string // "Seq" or "Random"
+	DataDist      stats.DistKind
+}
+
+// MiddlewareIOEntity holds the middleware attributes of Table VII.
+type MiddlewareIOEntity struct {
+	ExtraIOCoresPerNode int         // cores available beyond those running ranks
+	Granularity         Granularity // post-middleware (POSIX-visible)
+	MemPerNodeGB        int
+	AccessPattern       string
+}
+
+// NodeLocalEntity holds the node-local storage attributes of Table VIII.
+type NodeLocalEntity struct {
+	ParallelOps   int
+	CapacityBytes int64
+	MaxBWPerNode  int64 // bytes/sec
+	Dir           string
+}
+
+// SharedStorageEntity holds the shared-storage attributes of Table IX.
+type SharedStorageEntity struct {
+	ParallelServers int
+	CapacityBytes   int64
+	MaxBW           int64 // bytes/sec, aggregate
+	Dir             string
+}
+
+// DatasetEntity holds the dataset-level attributes of Table X.
+type DatasetEntity struct {
+	Format       string // dominant file format
+	SizeBytes    int64  // sum of final file sizes
+	NumFiles     int
+	IOBytes      int64
+	IOTime       time.Duration
+	DataOpsPct   float64
+	MetaOpsPct   float64
+	DataFileSize int64 // representative (largest-class) file size
+	MetaFileSize int64 // representative small/config file size
+	DataDist     stats.DistKind
+}
+
+// FileFormatAttrs are the format-specific attributes of Table XI.
+type FileFormatAttrs struct {
+	Chunked   bool
+	NDatasets int
+	NDims     int
+	DataType  string
+	Encoding  string // e.g. "FITS" for Montage-Pegasus
+}
+
+// FileEntity holds the per-file attributes of Table XI
+// (the representative data file: highest I/O volume).
+type FileEntity struct {
+	Path       string
+	Format     string
+	SizeBytes  int64
+	IOBytes    int64
+	IOTime     time.Duration
+	DataOpsPct float64
+	MetaOpsPct float64
+	Attrs      FileFormatAttrs
+}
+
+// FileFlow summarizes one file's producer/consumer relationship for the
+// dependency panels (Figures 1b-6b).
+type FileFlow struct {
+	Path         string
+	WriterRanks  int
+	ReaderRanks  int
+	BytesWritten int64
+	BytesRead    int64
+	Opens        int64
+}
+
+// RankBandwidth is one rank's achieved data bandwidth over the run — the
+// per-rank series behind Figure 2c's observation that HACC ranks see
+// different GPFS bandwidth despite identical access patterns.
+type RankBandwidth struct {
+	Rank    int32
+	ReadBW  float64 // bytes/sec while reading
+	WriteBW float64 // bytes/sec while writing
+}
+
+// FigureData carries the three panels of the workload's figure.
+type FigureData struct {
+	ReadHist  stats.SizeHistogram // request-size & bandwidth histogram (a)
+	WriteHist stats.SizeHistogram
+	ReadTL    *stats.Timeline // I/O timeline (c)
+	WriteTL   *stats.Timeline
+	TopFlows  []FileFlow      // dependency panel (b): highest-volume files
+	RankBW    []RankBandwidth // per-rank achieved bandwidth (Figure 2c)
+}
+
+// PctPair formats data/meta percentages that always total ~100.
+func PctPair(data, meta float64) (int, int) {
+	return int(data*100 + 0.5), int(meta*100 + 0.5)
+}

@@ -1,0 +1,217 @@
+// Package darshan implements a Darshan-style aggregate I/O profile: one
+// counter record per (rank, file), with op counts, byte totals, access-size
+// histogram, and first/last access timestamps.
+//
+// The paper's methodology section argues that this level of information —
+// what production facilities collect 24/7 — is *not enough* for its
+// characterization: aggregate counters cannot recover I/O phases (Table
+// V), process/data dependency graphs (the figures' (b) panels), compute/IO
+// overlap, or per-interval bandwidth timelines, which is why the paper
+// adopts Recorder's full multilevel traces. This package makes the
+// comparison concrete: everything derivable from counters is derived here,
+// and the package's tests document exactly which entities need the trace.
+package darshan
+
+import (
+	"sort"
+	"time"
+
+	"vani/internal/stats"
+	"vani/internal/trace"
+)
+
+// Record is the per-(rank, file) counter set, following the POSIX module
+// counters Darshan reports.
+type Record struct {
+	Rank int32
+	File string
+
+	Opens, Closes, Seeks, Stats, Syncs int64
+	Reads, Writes                      int64
+	BytesRead, BytesWritten            int64
+	MaxReadSize, MaxWriteSize          int64
+
+	// SizeCounts buckets access sizes like Darshan's
+	// POSIX_SIZE_READ/WRITE_* counters.
+	SizeCounts [stats.NumSizeBuckets]int64
+
+	// Fastest/slowest-style timing: only first/last access and cumulative
+	// op time survive aggregation.
+	FirstAccess time.Duration
+	LastAccess  time.Duration
+	CumIOTime   time.Duration
+
+	// Sequential fraction counter (Darshan tracks consecutive-offset
+	// accesses).
+	SeqAccesses   int64
+	TotalAccesses int64
+}
+
+// Profile is the aggregate of one job, the analogue of a Darshan log.
+type Profile struct {
+	Meta    trace.Meta
+	Records []Record
+}
+
+// FromTrace reduces a full trace to the aggregate profile, discarding
+// everything Darshan would not have kept. Only POSIX-level I/O is counted,
+// matching Darshan's POSIX module.
+func FromTrace(tr *trace.Trace) *Profile {
+	type key struct {
+		rank int32
+		file int32
+	}
+	recs := map[key]*Record{}
+	lastOff := map[key]int64{}
+	var order []key
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Level != trace.LevelPosix || !ev.Op.IsIO() || ev.File < 0 {
+			continue
+		}
+		k := key{ev.Rank, ev.File}
+		r := recs[k]
+		if r == nil {
+			r = &Record{
+				Rank: ev.Rank, File: tr.FilePath(ev.File),
+				FirstAccess: ev.Start,
+			}
+			recs[k] = r
+			order = append(order, k)
+		}
+		if ev.Start < r.FirstAccess {
+			r.FirstAccess = ev.Start
+		}
+		if ev.End > r.LastAccess {
+			r.LastAccess = ev.End
+		}
+		r.CumIOTime += ev.Duration()
+		switch ev.Op {
+		case trace.OpOpen:
+			r.Opens++
+		case trace.OpClose:
+			r.Closes++
+		case trace.OpSeek:
+			r.Seeks++
+		case trace.OpStat:
+			r.Stats++
+		case trace.OpSync:
+			r.Syncs++
+		case trace.OpRead:
+			r.Reads++
+			r.BytesRead += ev.Size
+			if ev.Size > r.MaxReadSize {
+				r.MaxReadSize = ev.Size
+			}
+			r.SizeCounts[stats.BucketOf(ev.Size)]++
+			r.TotalAccesses++
+			if prev, ok := lastOff[k]; !ok || ev.Offset >= prev {
+				r.SeqAccesses++
+			}
+			lastOff[k] = ev.Offset
+		case trace.OpWrite:
+			r.Writes++
+			r.BytesWritten += ev.Size
+			if ev.Size > r.MaxWriteSize {
+				r.MaxWriteSize = ev.Size
+			}
+			r.SizeCounts[stats.BucketOf(ev.Size)]++
+			r.TotalAccesses++
+			if prev, ok := lastOff[k]; !ok || ev.Offset >= prev {
+				r.SeqAccesses++
+			}
+			lastOff[k] = ev.Offset
+		}
+	}
+	p := &Profile{Meta: tr.Meta, Records: make([]Record, 0, len(recs))}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].rank != order[j].rank {
+			return order[i].rank < order[j].rank
+		}
+		return order[i].file < order[j].file
+	})
+	for _, k := range order {
+		p.Records = append(p.Records, *recs[k])
+	}
+	return p
+}
+
+// Summary is what the aggregate profile can say about the whole job —
+// the Darshan-derivable subset of the paper's Table I.
+type Summary struct {
+	BytesRead, BytesWritten int64
+	DataOps, MetaOps        int64
+	FilesUsed               int
+	FPPFiles, SharedFiles   int
+	SeqFraction             float64
+	// JobIOSpan is last access minus first access: the only "I/O time"
+	// aggregate counters support. It cannot distinguish a single long
+	// phase from many separated bursts.
+	JobIOSpan time.Duration
+}
+
+// Summarize computes the job-level summary.
+func (p *Profile) Summarize() Summary {
+	var s Summary
+	fileRanks := map[string]map[int32]bool{}
+	var first, last time.Duration
+	firstSet := false
+	var seq, total int64
+	for i := range p.Records {
+		r := &p.Records[i]
+		s.BytesRead += r.BytesRead
+		s.BytesWritten += r.BytesWritten
+		s.DataOps += r.Reads + r.Writes
+		s.MetaOps += r.Opens + r.Closes + r.Seeks + r.Stats + r.Syncs
+		if fileRanks[r.File] == nil {
+			fileRanks[r.File] = map[int32]bool{}
+		}
+		fileRanks[r.File][r.Rank] = true
+		if !firstSet || r.FirstAccess < first {
+			first = r.FirstAccess
+			firstSet = true
+		}
+		if r.LastAccess > last {
+			last = r.LastAccess
+		}
+		seq += r.SeqAccesses
+		total += r.TotalAccesses
+	}
+	s.FilesUsed = len(fileRanks)
+	for _, ranks := range fileRanks {
+		if len(ranks) == 1 {
+			s.FPPFiles++
+		} else {
+			s.SharedFiles++
+		}
+	}
+	if total > 0 {
+		s.SeqFraction = float64(seq) / float64(total)
+	}
+	if firstSet {
+		s.JobIOSpan = last - first
+	}
+	return s
+}
+
+// Derivable reports whether a characterization entity/attribute can be
+// produced from aggregate counters alone. It encodes the paper's Section
+// III-A2 argument for trace-based (Recorder) collection over profile-based
+// (Darshan) collection.
+func Derivable(attribute string) bool {
+	switch attribute {
+	case "workflow.io_amount", "workflow.io_ops_dist",
+		"workflow.fpp_shared_files", "highlevel.granularity",
+		"highlevel.access_pattern", "dataset.num_files", "dataset.size":
+		return true
+	case "phase.frequency", "phase.runtime", // needs inter-op gaps
+		"workflow.app_data_dependency", // needs write->read ordering
+		"app.process_data_dependency",  // needs per-op attribution
+		"workflow.cross_node_raw",      // needs op ordering across nodes
+		"figure.timeline",              // needs per-interval activity
+		"figure.rank_bandwidth_series", // needs per-op durations
+		"workflow.io_time":             // needs interval union, not span
+		return false
+	}
+	return false
+}

@@ -1,0 +1,213 @@
+// Package report renders characterizations as the paper presents them:
+// aligned text tables (Tables I-XI), request-size/bandwidth histograms
+// (the figures' (a) panels), dependency summaries ((b) panels), and I/O
+// timelines ((c) panels).
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vani/internal/core"
+	"vani/internal/stats"
+)
+
+// Table accumulates rows and renders an aligned text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.headers) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Render returns the aligned table text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Pct renders a (data, meta) op split as the tables do: "30%, 70%".
+func Pct(data, meta float64) string {
+	d, m := core.PctPair(data, meta)
+	return fmt.Sprintf("%d%%, %d%%", d, m)
+}
+
+// Bytes renders a byte count table-style.
+func Bytes(b int64) string { return core.SizeString(b) }
+
+// BW renders a bytes/sec rate ("64MB/s", "3.5GB/s").
+func BW(bytesPerSec float64) string {
+	return core.SizeString(int64(bytesPerSec)) + "/s"
+}
+
+// Dur renders durations at table precision (seconds).
+func Dur(d time.Duration) string {
+	if d < time.Second {
+		return fmt.Sprintf("%.2gs", d.Seconds())
+	}
+	return fmt.Sprintf("%.0fs", d.Seconds())
+}
+
+// Histogram renders a SizeHistogram as the figures' (a) panel: request
+// count and achieved bandwidth per size bucket, with proportional bars.
+func Histogram(title string, h *stats.SizeHistogram) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	var maxCount int64
+	for _, c := range h.Count {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		b.WriteString("  (no requests)\n")
+		return b.String()
+	}
+	for bucket := stats.SizeBucket(0); bucket < stats.NumSizeBuckets; bucket++ {
+		c := h.Count[bucket]
+		barLen := int(float64(c) / float64(maxCount) * 40)
+		if c > 0 && barLen == 0 {
+			barLen = 1
+		}
+		bw := "-"
+		if c > 0 {
+			bw = BW(h.Bandwidth(bucket))
+		}
+		fmt.Fprintf(&b, "  %-9s %9d ops  %10s  %s\n",
+			bucket.String(), c, bw, strings.Repeat("#", barLen))
+	}
+	return b.String()
+}
+
+// Timeline renders a stats.Timeline as the figures' (c) panel: a bar per
+// bin scaled to the peak rate.
+func Timeline(title string, tl *stats.Timeline, span time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (peak %s)\n", title, BW(tl.PeakRate()))
+	peak := tl.PeakRate()
+	if peak == 0 {
+		b.WriteString("  (idle)\n")
+		return b.String()
+	}
+	binDur := span / time.Duration(tl.Bins())
+	for i := 0; i < tl.Bins(); i++ {
+		r := tl.Rate(i)
+		barLen := int(r / peak * 50)
+		if r > 0 && barLen == 0 {
+			barLen = 1
+		}
+		if r == 0 {
+			continue // compress idle bins
+		}
+		fmt.Fprintf(&b, "  t=%-8s %10s %s\n",
+			Dur(time.Duration(i)*binDur), BW(r), strings.Repeat("#", barLen))
+	}
+	return b.String()
+}
+
+// Flows renders the dependency (b) panel: the highest-volume files with
+// their writer/reader fan-in and fan-out.
+func Flows(title string, flows []core.FileFlow) string {
+	t := NewTable(title, "file", "writers", "readers", "written", "read", "opens")
+	for _, f := range flows {
+		t.AddRow(shorten(f.Path, 44),
+			fmt.Sprint(f.WriterRanks), fmt.Sprint(f.ReaderRanks),
+			Bytes(f.BytesWritten), Bytes(f.BytesRead), fmt.Sprint(f.Opens))
+	}
+	return t.Render()
+}
+
+// RankBWSummary renders the per-rank bandwidth distribution (Figure 2c):
+// min, median, and max achieved write and read bandwidth across ranks.
+func RankBWSummary(rbw []core.RankBandwidth) string {
+	if len(rbw) == 0 {
+		return "(no per-rank data)\n"
+	}
+	var reads, writes []float64
+	for _, r := range rbw {
+		if r.ReadBW > 0 {
+			reads = append(reads, r.ReadBW)
+		}
+		if r.WriteBW > 0 {
+			writes = append(writes, r.WriteBW)
+		}
+	}
+	var b strings.Builder
+	line := func(label string, xs []float64) {
+		if len(xs) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-6s min %10s  p50 %10s  max %10s  across %d ranks\n",
+			label, BW(stats.Percentile(xs, 0)), BW(stats.Percentile(xs, 50)),
+			BW(stats.Percentile(xs, 100)), len(xs))
+	}
+	b.WriteString("per-rank achieved bandwidth:\n")
+	line("write", writes)
+	line("read", reads)
+	return b.String()
+}
+
+// Figure renders all three panels of a workload's figure.
+func Figure(c *core.Characterization) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Figure: I/O behavior of %s ===\n", c.Workload)
+	b.WriteString(Histogram("(a) read request sizes & bandwidth", &c.Figure.ReadHist))
+	b.WriteString(Histogram("(a) write request sizes & bandwidth", &c.Figure.WriteHist))
+	b.WriteString(Flows("(b) process/data dependency (top files)", c.Figure.TopFlows))
+	b.WriteString(Timeline("(c) read timeline", c.Figure.ReadTL, c.Workflow.Runtime))
+	b.WriteString(Timeline("(c) write timeline", c.Figure.WriteTL, c.Workflow.Runtime))
+	b.WriteString(RankBWSummary(c.Figure.RankBW))
+	return b.String()
+}
+
+func shorten(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n+3:]
+}

@@ -1,0 +1,433 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"vani/internal/core"
+)
+
+// Named is a characterization labeled with its workload's display name,
+// the column unit of the paper's tables.
+type Named struct {
+	Name string
+	C    *core.Characterization
+}
+
+// TableI renders the high-level I/O behavior summary (Table I).
+func TableI(cols []Named) string {
+	t := NewTable("Table I: High-Level I/O behavior of applications",
+		append([]string{"I/O Behavior"}, names(cols)...)...)
+	t.AddRow(row(cols, "job time (sec)", func(c *core.Characterization) string {
+		return Dur(c.Workflow.Runtime)
+	})...)
+	t.AddRow(row(cols, "% of I/O time", func(c *core.Characterization) string {
+		if c.Workflow.Runtime == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%d%%", int(float64(c.Workflow.IOTime)/float64(c.Workflow.Runtime)*100+0.5))
+	})...)
+	t.AddRow(row(cols, "Write I/O", func(c *core.Characterization) string {
+		return Bytes(c.Workflow.WriteBytes)
+	})...)
+	t.AddRow(row(cols, "Read I/O", func(c *core.Characterization) string {
+		return Bytes(c.Workflow.ReadBytes)
+	})...)
+	t.AddRow(row(cols, "CPU Cores/node", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Workflow.CPUCoresUsedPerNode)
+	})...)
+	t.AddRow(row(cols, "# files used", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Workflow.FPPFiles + c.Workflow.SharedFiles)
+	})...)
+	t.AddRow(row(cols, "Shared file access", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Workflow.SharedFiles)
+	})...)
+	t.AddRow(row(cols, "FPP access", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Workflow.FPPFiles)
+	})...)
+	t.AddRow(row(cols, "Access Pattern", func(c *core.Characterization) string {
+		return c.HighLevel.AccessPattern
+	})...)
+	t.AddRow(row(cols, "I/O Interface", func(c *core.Characterization) string {
+		if len(c.Apps) == 0 {
+			return "-"
+		}
+		// Dominant app's interface (highest I/O volume).
+		best := c.Apps[0]
+		for _, a := range c.Apps[1:] {
+			if a.IOBytes > best.IOBytes {
+				best = a
+			}
+		}
+		return best.Interface
+	})...)
+	return t.Render()
+}
+
+// TableII renders the Job Configuration entity (Table II).
+func TableII(cols []Named) string {
+	t := NewTable("Table II: Attributes for Job Configuration Entity Type",
+		append([]string{"Attribute"}, names(cols)...)...)
+	t.AddRow(row(cols, "# nodes", func(c *core.Characterization) string {
+		return fmt.Sprint(c.JobConfig.Nodes)
+	})...)
+	t.AddRow(row(cols, "# cpu cores per node", func(c *core.Characterization) string {
+		return fmt.Sprint(c.JobConfig.CPUCoresPerNode)
+	})...)
+	t.AddRow(row(cols, "# gpu/node", func(c *core.Characterization) string {
+		return fmt.Sprint(c.JobConfig.GPUsPerNode)
+	})...)
+	t.AddRow(row(cols, "Node-local BB dir", func(c *core.Characterization) string {
+		return orNA(c.JobConfig.NodeLocalBBDir)
+	})...)
+	t.AddRow(row(cols, "Shared BB dir", func(c *core.Characterization) string {
+		return orNA(c.JobConfig.SharedBBDir)
+	})...)
+	t.AddRow(row(cols, "PFS dir", func(c *core.Characterization) string {
+		return c.JobConfig.PFSDir
+	})...)
+	t.AddRow(row(cols, "Job time", func(c *core.Characterization) string {
+		return c.JobConfig.JobTime.String()
+	})...)
+	return t.Render()
+}
+
+// TableIII renders the Workflow entity (Table III).
+func TableIII(cols []Named) string {
+	t := NewTable("Table III: Attributes for Workflow Entity Type",
+		append([]string{"Attribute"}, names(cols)...)...)
+	t.AddRow(row(cols, "# CPU cores used/node", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Workflow.CPUCoresUsedPerNode)
+	})...)
+	t.AddRow(row(cols, "# GPUs used/node", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Workflow.GPUsUsedPerNode)
+	})...)
+	t.AddRow(row(cols, "# apps", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Workflow.NumApps)
+	})...)
+	t.AddRow(row(cols, "App data dependency", func(c *core.Characterization) string {
+		if len(c.Workflow.AppDeps) == 0 {
+			return "NA"
+		}
+		return fmt.Sprintf("%d edges", len(c.Workflow.AppDeps))
+	})...)
+	t.AddRow(row(cols, "FPP/shared file access", func(c *core.Characterization) string {
+		return fmt.Sprintf("%d/%d", c.Workflow.FPPFiles, c.Workflow.SharedFiles)
+	})...)
+	t.AddRow(row(cols, "I/O amount", func(c *core.Characterization) string {
+		return Bytes(c.Workflow.IOBytes)
+	})...)
+	t.AddRow(row(cols, "I/O ops dist (data, meta)", func(c *core.Characterization) string {
+		return Pct(c.Workflow.DataOpsPct, c.Workflow.MetaOpsPct)
+	})...)
+	t.AddRow(row(cols, "Runtime (sec)", func(c *core.Characterization) string {
+		return Dur(c.Workflow.Runtime)
+	})...)
+	return t.Render()
+}
+
+// TableIV renders the Application entity (Table IV), using each
+// workload's highest-volume application.
+func TableIV(cols []Named) string {
+	t := NewTable("Table IV: Attributes for Application Entity Type",
+		append([]string{"Attribute"}, names(cols)...)...)
+	app := func(c *core.Characterization) core.AppEntity {
+		if len(c.Apps) == 0 {
+			return core.AppEntity{}
+		}
+		best := c.Apps[0]
+		for _, a := range c.Apps[1:] {
+			if a.IOBytes > best.IOBytes {
+				best = a
+			}
+		}
+		return best
+	}
+	t.AddRow(row(cols, "app", func(c *core.Characterization) string {
+		return app(c).Name
+	})...)
+	t.AddRow(row(cols, "# processes", func(c *core.Characterization) string {
+		return fmt.Sprint(app(c).Processes)
+	})...)
+	t.AddRow(row(cols, "Process data dependency", func(c *core.Characterization) string {
+		return string(app(c).ProcDep)
+	})...)
+	t.AddRow(row(cols, "FPP/shared file access", func(c *core.Characterization) string {
+		a := app(c)
+		return fmt.Sprintf("%d/%d", a.FPPFiles, a.SharedFiles)
+	})...)
+	t.AddRow(row(cols, "I/O amount", func(c *core.Characterization) string {
+		return Bytes(app(c).IOBytes)
+	})...)
+	t.AddRow(row(cols, "I/O ops dist (data, meta)", func(c *core.Characterization) string {
+		a := app(c)
+		return Pct(a.DataOpsPct, a.MetaOpsPct)
+	})...)
+	t.AddRow(row(cols, "Interface", func(c *core.Characterization) string {
+		return app(c).Interface
+	})...)
+	t.AddRow(row(cols, "Runtime", func(c *core.Characterization) string {
+		return Dur(app(c).Runtime)
+	})...)
+	return t.Render()
+}
+
+// TableV renders the I/O Phase entity for the first phase (Table V).
+func TableV(cols []Named) string {
+	t := NewTable("Table V: Attributes for I/O Phase Entity Type (first phase)",
+		append([]string{"Attribute"}, names(cols)...)...)
+	first := func(c *core.Characterization) core.IOPhaseEntity {
+		if len(c.Phases) == 0 {
+			return core.IOPhaseEntity{}
+		}
+		return c.Phases[0]
+	}
+	t.AddRow(row(cols, "I/O amount", func(c *core.Characterization) string {
+		return Bytes(first(c).IOBytes)
+	})...)
+	t.AddRow(row(cols, "I/O ops dist (data, meta)", func(c *core.Characterization) string {
+		p := first(c)
+		return Pct(p.DataOpsPct, p.MetaOpsPct)
+	})...)
+	t.AddRow(row(cols, "Frequency", func(c *core.Characterization) string {
+		return first(c).Frequency
+	})...)
+	t.AddRow(row(cols, "Runtime", func(c *core.Characterization) string {
+		return Dur(first(c).Runtime)
+	})...)
+	t.AddRow(row(cols, "# phases total", func(c *core.Characterization) string {
+		return fmt.Sprint(len(c.Phases))
+	})...)
+	return t.Render()
+}
+
+// TableVI renders the High-Level I/O entity (Table VI).
+func TableVI(cols []Named) string {
+	t := NewTable("Table VI: Attributes for High-Level I/O Entity Type",
+		append([]string{"Attribute"}, names(cols)...)...)
+	t.AddRow(row(cols, "Data repr", func(c *core.Characterization) string {
+		return c.HighLevel.DataRepr
+	})...)
+	t.AddRow(row(cols, "Granularity (write, read)", func(c *core.Characterization) string {
+		return granStr(c.HighLevel.Granularity)
+	})...)
+	t.AddRow(row(cols, "Access pattern", func(c *core.Characterization) string {
+		return c.HighLevel.AccessPattern
+	})...)
+	t.AddRow(row(cols, "Data dist", func(c *core.Characterization) string {
+		return string(c.HighLevel.DataDist)
+	})...)
+	return t.Render()
+}
+
+// TableVII renders the Middleware I/O entity (Table VII).
+func TableVII(cols []Named) string {
+	t := NewTable("Table VII: Attributes for Middleware I/O Entity Type",
+		append([]string{"Attribute"}, names(cols)...)...)
+	t.AddRow(row(cols, "# extra cores for I/O/node", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Middleware.ExtraIOCoresPerNode)
+	})...)
+	t.AddRow(row(cols, "Granularity (write, read)", func(c *core.Characterization) string {
+		return granStr(c.Middleware.Granularity)
+	})...)
+	t.AddRow(row(cols, "Memory/node", func(c *core.Characterization) string {
+		return fmt.Sprintf("%dGB", c.Middleware.MemPerNodeGB)
+	})...)
+	t.AddRow(row(cols, "Access pattern", func(c *core.Characterization) string {
+		return c.Middleware.AccessPattern
+	})...)
+	return t.Render()
+}
+
+// TableVIII renders the Node-Local Storage entity (Table VIII).
+func TableVIII(c *core.Characterization) string {
+	t := NewTable("Table VIII: Attributes for Node-Local Storage Entity Type",
+		"Attribute", "Value")
+	t.AddRow("# parallel ops (controller)", fmt.Sprint(c.NodeLocal.ParallelOps))
+	t.AddRow("Capacity/node", Bytes(c.NodeLocal.CapacityBytes))
+	t.AddRow("Max I/O bw/node", BW(float64(c.NodeLocal.MaxBWPerNode)))
+	t.AddRow("Dir", orNA(c.NodeLocal.Dir))
+	return t.Render()
+}
+
+// TableIX renders the Shared-Storage entity (Table IX).
+func TableIX(c *core.Characterization, measuredBW float64) string {
+	t := NewTable("Table IX: Attributes for Shared-Storage Entity Type",
+		"Attribute", "Value")
+	t.AddRow("# parallel servers", fmt.Sprint(c.Shared.ParallelServers))
+	t.AddRow("Capacity", Bytes(c.Shared.CapacityBytes))
+	bw := BW(float64(c.Shared.MaxBW))
+	if measuredBW > 0 {
+		bw = fmt.Sprintf("%s (measured %s using 32-node IOR)", bw, BW(measuredBW))
+	}
+	t.AddRow("Max I/O BW", bw)
+	t.AddRow("Dir", orNA(c.Shared.Dir))
+	return t.Render()
+}
+
+// TableX renders the Dataset entity (Table X).
+func TableX(cols []Named) string {
+	t := NewTable("Table X: Attributes for Dataset Entity Type",
+		append([]string{"Attribute"}, names(cols)...)...)
+	t.AddRow(row(cols, "Format", func(c *core.Characterization) string {
+		return c.Dataset.Format
+	})...)
+	t.AddRow(row(cols, "Size", func(c *core.Characterization) string {
+		return Bytes(c.Dataset.SizeBytes)
+	})...)
+	t.AddRow(row(cols, "# of files", func(c *core.Characterization) string {
+		return fmt.Sprint(c.Dataset.NumFiles)
+	})...)
+	t.AddRow(row(cols, "I/O", func(c *core.Characterization) string {
+		return Bytes(c.Dataset.IOBytes)
+	})...)
+	t.AddRow(row(cols, "Time (sec)", func(c *core.Characterization) string {
+		return Dur(c.Dataset.IOTime)
+	})...)
+	t.AddRow(row(cols, "I/O ops dist (data, meta)", func(c *core.Characterization) string {
+		return Pct(c.Dataset.DataOpsPct, c.Dataset.MetaOpsPct)
+	})...)
+	t.AddRow(row(cols, "File size dist (data, config)", func(c *core.Characterization) string {
+		return fmt.Sprintf("%s, %s", Bytes(c.Dataset.DataFileSize), Bytes(c.Dataset.MetaFileSize))
+	})...)
+	return t.Render()
+}
+
+// TableXI renders the File entity (Table XI) for each workload's
+// representative data file.
+func TableXI(cols []Named) string {
+	t := NewTable("Table XI: Attributes for File Entity Type (data file)",
+		append([]string{"Attribute"}, names(cols)...)...)
+	t.AddRow(row(cols, "Format", func(c *core.Characterization) string {
+		return c.File.Format
+	})...)
+	t.AddRow(row(cols, "Size", func(c *core.Characterization) string {
+		return Bytes(c.File.SizeBytes)
+	})...)
+	t.AddRow(row(cols, "I/O", func(c *core.Characterization) string {
+		return Bytes(c.File.IOBytes)
+	})...)
+	t.AddRow(row(cols, "Time (sec)", func(c *core.Characterization) string {
+		return Dur(c.File.IOTime)
+	})...)
+	t.AddRow(row(cols, "I/O ops dist (data, meta)", func(c *core.Characterization) string {
+		return Pct(c.File.DataOpsPct, c.File.MetaOpsPct)
+	})...)
+	t.AddRow(row(cols, "Format attributes", func(c *core.Characterization) string {
+		a := c.File.Attrs
+		parts := []string{
+			fmt.Sprintf("chunk:%s", boolNA(a.Chunked)),
+			fmt.Sprintf("#dims:%d", a.NDims),
+			fmt.Sprintf("type:%s", a.DataType),
+		}
+		if a.Encoding != "" {
+			parts = append(parts, "enc:"+a.Encoding)
+		}
+		return strings.Join(parts, " ")
+	})...)
+	return t.Render()
+}
+
+// AllTables renders Tables I-XI for a set of workloads, with the storage
+// entities taken from the first characterization.
+func AllTables(cols []Named, measuredPFSBW float64) string {
+	var b strings.Builder
+	b.WriteString(TableI(cols))
+	b.WriteByte('\n')
+	b.WriteString(TableII(cols))
+	b.WriteByte('\n')
+	b.WriteString(TableIII(cols))
+	b.WriteByte('\n')
+	b.WriteString(TableIV(cols))
+	b.WriteByte('\n')
+	b.WriteString(TableV(cols))
+	b.WriteByte('\n')
+	b.WriteString(TableVI(cols))
+	b.WriteByte('\n')
+	b.WriteString(TableVII(cols))
+	b.WriteByte('\n')
+	if len(cols) > 0 {
+		b.WriteString(TableVIII(cols[0].C))
+		b.WriteByte('\n')
+		b.WriteString(TableIX(cols[0].C, measuredPFSBW))
+		b.WriteByte('\n')
+	}
+	b.WriteString(TableX(cols))
+	b.WriteByte('\n')
+	b.WriteString(TableXI(cols))
+	return b.String()
+}
+
+func names(cols []Named) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func row(cols []Named, label string, f func(*core.Characterization) string) []string {
+	cells := make([]string, 0, len(cols)+1)
+	cells = append(cells, label)
+	for _, c := range cols {
+		cells = append(cells, f(c.C))
+	}
+	return cells
+}
+
+func granStr(g core.Granularity) string {
+	switch {
+	case g.Read == 0 && g.Write == 0:
+		return "-"
+	case g.Write == 0:
+		return Bytes(g.Read)
+	case g.Read == 0:
+		return Bytes(g.Write)
+	case g.Read == g.Write:
+		return Bytes(g.Read)
+	default:
+		return fmt.Sprintf("%s-%s", Bytes(minI64(g.Read, g.Write)), Bytes(maxI64(g.Read, g.Write)))
+	}
+}
+
+func orNA(s string) string {
+	if s == "" {
+		return "NA"
+	}
+	return s
+}
+
+func boolNA(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NA"
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PhaseTable renders every detected I/O phase of one workload — the full
+// series Table V samples its "first phase" column from.
+func PhaseTable(name string, c *core.Characterization) string {
+	t := NewTable(fmt.Sprintf("I/O phases of %s (gap-separated bursts)", name),
+		"#", "start", "runtime", "I/O", "ops dist (data, meta)", "ops/rank", "frequency")
+	for _, p := range c.Phases {
+		t.AddRow(fmt.Sprint(p.Index),
+			Dur(p.Start), Dur(p.Runtime), Bytes(p.IOBytes),
+			Pct(p.DataOpsPct, p.MetaOpsPct),
+			fmt.Sprintf("%.1f", p.OpsPerRank), p.Frequency)
+	}
+	return t.Render()
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResourceFCFSQueueing(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk")
+	var waits []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Spawn("p", func(p *Proc) {
+			wait, total := r.Use(p, time.Second)
+			waits = append(waits, wait)
+			if total != wait+time.Second {
+				t.Errorf("total = %v, want wait+1s", total)
+			}
+		})
+	}
+	end := e.Run()
+	if end != 4*time.Second {
+		t.Errorf("4 serialized 1s requests ended at %v, want 4s", end)
+	}
+	for i, w := range waits {
+		want := time.Duration(i) * time.Second
+		if w != want {
+			t.Errorf("waits[%d] = %v, want %v (FCFS arrival order)", i, w, want)
+		}
+	}
+}
+
+func TestResourceIdleBetweenRequests(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk")
+	e.Spawn("p", func(p *Proc) {
+		r.Use(p, time.Second)
+		p.Sleep(10 * time.Second) // let the server idle
+		wait, _ := r.Use(p, time.Second)
+		if wait != 0 {
+			t.Errorf("wait = %v after idle period, want 0", wait)
+		}
+	})
+	end := e.Run()
+	if end != 12*time.Second {
+		t.Errorf("end = %v, want 12s", end)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk")
+	e.Spawn("p", func(p *Proc) {
+		r.Use(p, 2*time.Second)
+		p.Sleep(2 * time.Second)
+	})
+	e.Run()
+	if got := r.Utilization(); got != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+}
+
+func TestResourceReserveAccumulates(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk")
+	e.Spawn("p", func(p *Proc) {
+		s1, e1 := r.Reserve(time.Second)
+		s2, e2 := r.Reserve(time.Second)
+		if s1 != 0 || e1 != time.Second {
+			t.Errorf("first reserve [%v,%v), want [0,1s)", s1, e1)
+		}
+		if s2 != time.Second || e2 != 2*time.Second {
+			t.Errorf("second reserve [%v,%v), want [1s,2s)", s2, e2)
+		}
+		// A blocking user now queues behind both reservations.
+		wait, _ := r.Use(p, time.Second)
+		if wait != 2*time.Second {
+			t.Errorf("wait = %v, want 2s behind reservations", wait)
+		}
+	})
+	e.Run()
+}
+
+func TestPoolStripedRouting(t *testing.T) {
+	e := NewEngine()
+	pl := NewPool(e, "oss", 4)
+	e.Spawn("p", func(p *Proc) {
+		// Requests to distinct servers do not queue on each other.
+		for i := 0; i < 4; i++ {
+			pl.Servers[i].Reserve(time.Second)
+		}
+		wait, _ := pl.Use(p, 5, time.Second) // 5 mod 4 = 1
+		if wait != time.Second {
+			t.Errorf("wait = %v, want 1s (queued behind one reservation)", wait)
+		}
+	})
+	e.Run()
+	if pl.TotalServed() != 5 {
+		t.Errorf("TotalServed = %d, want 5", pl.TotalServed())
+	}
+}
+
+func TestPoolNegativeIndexWraps(t *testing.T) {
+	e := NewEngine()
+	pl := NewPool(e, "oss", 4)
+	e.Spawn("p", func(p *Proc) {
+		pl.Use(p, -1, time.Second) // should map to server 3, not panic
+	})
+	e.Run()
+	if pl.Servers[3].Served != 1 {
+		t.Errorf("server 3 served %d, want 1", pl.Servers[3].Served)
+	}
+}
+
+func TestPoolLeastLoaded(t *testing.T) {
+	e := NewEngine()
+	pl := NewPool(e, "mds", 3)
+	e.Spawn("p", func(p *Proc) {
+		pl.Servers[0].Reserve(10 * time.Second)
+		pl.Servers[1].Reserve(5 * time.Second)
+		wait, _ := pl.UseLeastLoaded(p, time.Second)
+		if wait != 0 {
+			t.Errorf("wait = %v, want 0 (server 2 idle)", wait)
+		}
+		if pl.Servers[2].Served != 1 {
+			t.Errorf("least-loaded routing picked wrong server")
+		}
+	})
+	e.Run()
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 2)
+	var finish []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Spawn("p", func(p *Proc) {
+			s.Acquire(p)
+			p.Sleep(time.Second)
+			s.Release()
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	if s.MaxInUse != 2 {
+		t.Errorf("MaxInUse = %d, want 2", s.MaxInUse)
+	}
+	// Two finish at 1s, two at 2s.
+	counts := map[time.Duration]int{}
+	for _, f := range finish {
+		counts[f]++
+	}
+	if counts[time.Second] != 2 || counts[2*time.Second] != 2 {
+		t.Errorf("finish times %v, want two at 1s and two at 2s", finish)
+	}
+}
+
+func TestSemaphoreReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEngine()
+	s := NewSemaphore(e, 1)
+	s.Release()
+}
+
+func TestBarrierReleasesAllAtOnce(t *testing.T) {
+	e := NewEngine()
+	const n = 8
+	b := NewBarrier(e, n)
+	var times []time.Duration
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn("rank", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Second) // staggered arrivals
+			b.Wait(p)
+			times = append(times, p.Now())
+		})
+	}
+	e.Run()
+	if len(times) != n {
+		t.Fatalf("%d ranks passed barrier, want %d", len(times), n)
+	}
+	for _, tm := range times {
+		if tm != 7*time.Second {
+			t.Errorf("rank released at %v, want 7s (last arrival)", tm)
+		}
+	}
+	if b.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", b.Rounds)
+	}
+}
+
+func TestBarrierReusableAcrossRounds(t *testing.T) {
+	e := NewEngine()
+	const n, rounds = 4, 5
+	b := NewBarrier(e, n)
+	passed := 0
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn("rank", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Sleep(time.Duration(i+1) * time.Millisecond)
+				b.Wait(p)
+				passed++
+			}
+		})
+	}
+	e.Run()
+	if passed != n*rounds {
+		t.Errorf("passed = %d, want %d", passed, n*rounds)
+	}
+	if b.Rounds != rounds {
+		t.Errorf("Rounds = %d, want %d", b.Rounds, rounds)
+	}
+}
+
+func TestGateReleasesWaitersAndPassesLateArrivals(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e)
+	var early, late time.Duration
+	e.Spawn("early", func(p *Proc) {
+		g.Wait(p)
+		early = p.Now()
+	})
+	e.Spawn("opener", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		g.Open()
+	})
+	e.Spawn("late", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		g.Wait(p) // already open: must not block
+		late = p.Now()
+	})
+	e.Run()
+	if early != 3*time.Second {
+		t.Errorf("early waiter released at %v, want 3s", early)
+	}
+	if late != 5*time.Second {
+		t.Errorf("late waiter at %v, want 5s (no blocking)", late)
+	}
+	if !g.Opened() {
+		t.Error("gate should report opened")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	wg.Add(3)
+	var waited time.Duration
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Spawn("worker", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Second)
+			wg.Done()
+		})
+	}
+	e.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		waited = p.Now()
+	})
+	e.Run()
+	if waited != 3*time.Second {
+		t.Errorf("waiter released at %v, want 3s", waited)
+	}
+}
+
+func TestWaitGroupZeroPassesImmediately(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	e.Spawn("p", func(p *Proc) {
+		wg.Wait(p)
+		if p.Now() != 0 {
+			t.Errorf("Wait on zero counter blocked until %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+// Property: for any set of FCFS demands, the completion time equals the sum
+// of demands (work conservation), and waits are non-decreasing in arrival
+// order when all requests arrive at time zero.
+func TestResourceWorkConservationProperty(t *testing.T) {
+	f := func(demands []uint16) bool {
+		if len(demands) == 0 || len(demands) > 64 {
+			return true
+		}
+		e := NewEngine()
+		r := NewResource(e, "disk")
+		var sum time.Duration
+		var waits []time.Duration
+		for _, d := range demands {
+			svc := time.Duration(d) * time.Microsecond
+			sum += svc
+			e.Spawn("p", func(p *Proc) {
+				w, _ := r.Use(p, svc)
+				waits = append(waits, w)
+			})
+		}
+		end := e.Run()
+		if end != sum {
+			return false
+		}
+		for i := 1; i < len(waits); i++ {
+			if waits[i] < waits[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a semaphore of capacity c never admits more than c concurrent
+// holders, for any number of contenders and hold times.
+func TestSemaphoreCapacityProperty(t *testing.T) {
+	f := func(capRaw, nRaw uint8, holds []uint8) bool {
+		c := int(capRaw%8) + 1
+		n := int(nRaw%32) + 1
+		e := NewEngine()
+		s := NewSemaphore(e, c)
+		for i := 0; i < n; i++ {
+			h := time.Millisecond
+			if len(holds) > 0 {
+				h = time.Duration(holds[i%len(holds)]+1) * time.Millisecond
+			}
+			e.Spawn("p", func(p *Proc) {
+				s.Acquire(p)
+				p.Sleep(h)
+				s.Release()
+			})
+		}
+		e.Run()
+		return s.MaxInUse <= c && s.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

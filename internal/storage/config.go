@@ -1,0 +1,185 @@
+// Package storage models the storage side of an HPC system: a striped
+// parallel file system with separate data and metadata services (GPFS-like),
+// node-local storage targets (RAM-backed /dev/shm and /tmp scratch), and a
+// per-node client page cache.
+//
+// The model is a queueing model, not a byte-accurate filesystem: what it
+// reproduces are the performance phenomena the paper's characterization
+// keys on — metadata-operation dominance under concurrency, the collapse of
+// bandwidth at small transfer sizes, per-rank bandwidth variance from
+// server contention, client-cache bandwidth spikes, and the large
+// PFS-vs-node-local asymmetry exploited by the Figure 7/8 optimizations.
+package storage
+
+import "time"
+
+// Byte-size constants used throughout the repository.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+	TiB int64 = 1 << 40
+)
+
+// Config holds the performance-model parameters for one storage system.
+// The zero value is not usable; start from Lassen() and override.
+type Config struct {
+	// Parallel file system (GPFS-like).
+	PFSServers     int           // data (I/O) servers serving this job
+	PFSServerBW    int64         // bytes/sec per data server
+	PFSStripeSize  int64         // bytes per stripe chunk
+	PFSDataLatency time.Duration // fixed per-chunk RPC/network overhead
+	PFSMetaServers int           // metadata servers
+	PFSMetaLatency time.Duration // service demand per metadata op
+	PFSCapacity    int64         // advertised capacity (Table IX)
+
+	// NodeNICBW is each node's achievable PFS client throughput (bytes/
+	// sec). GPFS on Lassen is client-limited: the file system has >2000
+	// servers, so a 32-node IOR measures 32 x NodeNICBW = 64GB/s (Table
+	// IX) while wider jobs pull proportionally more.
+	NodeNICBW int64
+
+	// Shared burst buffer (DataWarp-like SSD tier shared by all nodes).
+	// Lassen has none (Table II: NA); Cori-style systems set these.
+	SharedBBServers  int           // 0 disables the tier entirely
+	SharedBBServerBW int64         // bytes/sec per BB server
+	SharedBBLatency  time.Duration // per-op overhead (SSD, not disk)
+	SharedBBMetaLat  time.Duration // metadata op cost
+	SharedBBCapacity int64         //
+	SharedBBStripe   int64         // chunking granularity across servers
+
+	// Node-local storage (one instance per node, shared by its ranks).
+	NodeLocalBW       int64         // bytes/sec per node (Table VIII: 32GB/s)
+	NodeLocalLatency  time.Duration // per-op overhead
+	NodeLocalMetaLat  time.Duration // metadata op cost
+	NodeLocalParallel int           // parallel ops supported by the controller
+	NodeLocalCapacity int64         // bytes per node
+
+	// Client page cache (per node, in front of the PFS).
+	CacheEnabled  bool
+	CacheCapacity int64 // bytes per node dedicated to caching
+	CacheBW       int64 // memory bandwidth for cache hits
+	CacheLatency  time.Duration
+	ReadAhead     int64 // sequential read prefetch window (0 disables)
+
+	// RelaxedConsistency models UnifyFS-style middleware interposed on the
+	// PFS: writes buffer node-locally regardless of cross-node sharing and
+	// drain asynchronously, and close does not flush (lamination happens
+	// after the job). Only safe when the workload has no cross-node
+	// read-after-write dependency — the advisor checks that attribute
+	// before enabling it (Section IV-D2).
+	RelaxedConsistency bool
+
+	// Service-time jitter fraction applied to PFS data service (models the
+	// background interference a production PFS always has). 0 disables.
+	JitterFrac float64
+
+	// Mount points routed to each target.
+	PFSDir       string
+	NodeLocalDir string
+	TmpDir       string
+	SharedBBDir  string // "" when the system has no shared burst buffer
+}
+
+// Lassen returns the storage model calibrated against the paper's testbed
+// numbers: GPFS peaking at 64GB/s for a 32-node job (Table IX), node-local
+// storage at 32GB/s per node with 64 parallel ops (Table VIII), and
+// metadata service costs that make small-transfer, metadata-heavy
+// workloads behave as Figures 1-6 report.
+func Lassen() Config {
+	return Config{
+		PFSServers:     256, // the job's share of the >2000-server system
+		PFSServerBW:    2 * GiB,
+		PFSStripeSize:  1 * MiB,
+		PFSDataLatency: 250 * time.Microsecond,
+		PFSMetaServers: 32,
+		PFSMetaLatency: 400 * time.Microsecond,
+		PFSCapacity:    20 * 1024 * TiB, // 20PB (Table IX)
+		NodeNICBW:      2 * GiB,         // 32-node IOR -> 64GB/s (Table IX)
+
+		NodeLocalBW:       32 * GiB,
+		NodeLocalLatency:  2 * time.Microsecond,
+		NodeLocalMetaLat:  1 * time.Microsecond,
+		NodeLocalParallel: 64,
+		NodeLocalCapacity: 200 * GiB, // /dev/shm share of 256GB RAM
+
+		CacheEnabled:  true,
+		CacheCapacity: 1 * GiB, // GPFS pagepool share per node
+		CacheBW:       12 * GiB,
+		CacheLatency:  5 * time.Microsecond,
+		ReadAhead:     8 * MiB, // GPFS sequential prefetch
+
+		JitterFrac: 0.25,
+
+		PFSDir:       "/p/gpfs1",
+		NodeLocalDir: "/dev/shm",
+		TmpDir:       "/tmp",
+	}
+}
+
+// TargetKind identifies which storage target a path routes to.
+type TargetKind int
+
+// Target kinds.
+const (
+	TargetPFS TargetKind = iota
+	TargetNodeLocal
+	TargetTmp
+	TargetSharedBB
+	NumTargets
+)
+
+// String returns the target name used in traces ("gpfs", "shm", "tmp",
+// "bb").
+func (k TargetKind) String() string {
+	switch k {
+	case TargetPFS:
+		return "gpfs"
+	case TargetNodeLocal:
+		return "shm"
+	case TargetTmp:
+		return "tmp"
+	case TargetSharedBB:
+		return "bb"
+	}
+	return "unknown"
+}
+
+// Cori returns a storage model for a Cori-like Cray XC system: Lustre
+// behind DataWarp shared burst buffers, no RAM-backed node-local tier.
+// It supports the paper's Section II-B discussion of DataWarp
+// configurability and lets workloads exercise the shared-BB data path.
+func Cori() Config {
+	c := Lassen()
+	c.PFSDir = "/global/cscratch1"
+	c.NodeLocalDir = "" // no node-local burst buffer
+	c.TmpDir = "/tmp"
+	c.PFSServers = 244 // Lustre OSTs on cscratch1
+	c.PFSServerBW = 3 * GiB
+	c.NodeNICBW = 2 * GiB
+
+	c.SharedBBDir = "/var/opt/cray/dws"
+	c.SharedBBServers = 288
+	c.SharedBBServerBW = 6 * GiB // ~1.7TB/s aggregate DataWarp
+	c.SharedBBLatency = 50 * time.Microsecond
+	c.SharedBBMetaLat = 60 * time.Microsecond
+	c.SharedBBCapacity = 1800 * TiB
+	c.SharedBBStripe = 8 * MiB
+	return c
+}
+
+// Summit returns a storage model for a Summit-like system: Alpine GPFS
+// plus large per-node NVMe burst buffers.
+func Summit() Config {
+	c := Lassen()
+	c.PFSDir = "/gpfs/alpine"
+	c.NodeLocalDir = "/mnt/bb"
+	c.PFSServers = 320
+	c.PFSServerBW = 8 * GiB // 2.5TB/s aggregate Alpine
+	c.NodeNICBW = 6 * GiB
+	c.NodeLocalBW = 6 * GiB // per-node NVMe (2x 1.6TB), slower than shm
+	c.NodeLocalLatency = 20 * time.Microsecond
+	c.NodeLocalMetaLat = 10 * time.Microsecond
+	c.NodeLocalCapacity = 1600 * GiB
+	return c
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// The on-disk trace format is a compact row-major binary log, mirroring
+// Recorder's row-major native format that the paper converts to columnar
+// parquet before analysis (our colstore package plays the parquet role).
+//
+// Layout:
+//
+//	magic "VANITRC1" (8 bytes)
+//	meta block   (string/varint fields)
+//	apps table   (count, then strings)
+//	files table  (count, then per-file fields)
+//	event count, then events (varint fields, times delta-encoded by Start)
+//
+// Strings are uvarint length + bytes. Signed ints use zig-zag varints.
+
+const magic = "VANITRC1"
+
+// ErrBadFormat is returned when decoding input that is not a trace log.
+var ErrBadFormat = errors.New("trace: bad format")
+
+type writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (w *writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+// Write encodes the trace to w.
+func Write(out io.Writer, t *Trace) error {
+	w := &writer{w: bufio.NewWriterSize(out, 1<<16)}
+	if _, err := w.w.WriteString(magic); err != nil {
+		return err
+	}
+	m := &t.Meta
+	w.str(m.Workload)
+	w.str(m.JobID)
+	w.varint(int64(m.Nodes))
+	w.varint(int64(m.CoresPerNode))
+	w.varint(int64(m.GPUsPerNode))
+	w.varint(int64(m.MemPerNodeGB))
+	w.varint(int64(m.Ranks))
+	w.str(m.NodeLocalDir)
+	w.str(m.SharedBBDir)
+	w.str(m.PFSDir)
+	w.varint(int64(m.JobTimeLimit))
+	w.varint(int64(m.TraceOverhead))
+
+	w.uvarint(uint64(len(t.Apps)))
+	for _, a := range t.Apps {
+		w.str(a)
+	}
+	w.uvarint(uint64(len(t.Files)))
+	for i := range t.Files {
+		f := &t.Files[i]
+		w.str(f.Path)
+		w.varint(f.Size)
+		w.str(f.Target)
+		w.str(f.Format)
+		w.varint(int64(f.NDims))
+		w.str(f.DataType)
+	}
+	w.uvarint(uint64(len(t.Samples)))
+	for i := range t.Samples {
+		s := &t.Samples[i]
+		w.str(s.Name)
+		w.uvarint(uint64(len(s.Values)))
+		for _, v := range s.Values {
+			w.uvarint(math.Float64bits(v))
+		}
+	}
+	w.uvarint(uint64(len(t.Events)))
+	var prevStart time.Duration
+	for i := range t.Events {
+		e := &t.Events[i]
+		w.uvarint(uint64(e.Level))
+		w.uvarint(uint64(e.Op))
+		w.uvarint(uint64(e.Lib))
+		w.varint(int64(e.Rank))
+		w.varint(int64(e.Node))
+		w.varint(int64(e.App))
+		w.varint(int64(e.File))
+		w.varint(e.Offset)
+		w.varint(e.Size)
+		w.varint(int64(e.Start - prevStart))
+		w.varint(int64(e.End - e.Start))
+		prevStart = e.Start
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	r.err = err
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	r.err = err
+	return v
+}
+
+const maxStringLen = 1 << 20
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		r.err = fmt.Errorf("%w: string length %d", ErrBadFormat, n)
+		return ""
+	}
+	b := make([]byte, n)
+	_, r.err = io.ReadFull(r.r, b)
+	return string(b)
+}
+
+func (r *reader) intBounded(what string, max int64) int {
+	v := r.varint()
+	if r.err == nil && (v < 0 || v > max) {
+		r.err = fmt.Errorf("%w: %s %d out of range", ErrBadFormat, what, v)
+	}
+	return int(v)
+}
+
+// Read decodes a trace previously encoded by Write.
+func Read(in io.Reader) (*Trace, error) {
+	r := &reader{r: bufio.NewReaderSize(in, 1<<16)}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.r, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
+	}
+	t := &Trace{}
+	m := &t.Meta
+	m.Workload = r.str()
+	m.JobID = r.str()
+	m.Nodes = int(r.varint())
+	m.CoresPerNode = int(r.varint())
+	m.GPUsPerNode = int(r.varint())
+	m.MemPerNodeGB = int(r.varint())
+	m.Ranks = int(r.varint())
+	m.NodeLocalDir = r.str()
+	m.SharedBBDir = r.str()
+	m.PFSDir = r.str()
+	m.JobTimeLimit = time.Duration(r.varint())
+	m.TraceOverhead = time.Duration(r.varint())
+
+	nApps := r.uvarint()
+	if r.err == nil && nApps > 1<<20 {
+		return nil, fmt.Errorf("%w: app count %d", ErrBadFormat, nApps)
+	}
+	for i := uint64(0); i < nApps && r.err == nil; i++ {
+		t.Apps = append(t.Apps, r.str())
+	}
+	nFiles := r.uvarint()
+	if r.err == nil && nFiles > 1<<28 {
+		return nil, fmt.Errorf("%w: file count %d", ErrBadFormat, nFiles)
+	}
+	for i := uint64(0); i < nFiles && r.err == nil; i++ {
+		var f FileInfo
+		f.Path = r.str()
+		f.Size = r.varint()
+		f.Target = r.str()
+		f.Format = r.str()
+		f.NDims = int(r.varint())
+		f.DataType = r.str()
+		t.Files = append(t.Files, f)
+	}
+	nSamples := r.uvarint()
+	if r.err == nil && nSamples > 1<<20 {
+		return nil, fmt.Errorf("%w: sample count %d", ErrBadFormat, nSamples)
+	}
+	for i := uint64(0); i < nSamples && r.err == nil; i++ {
+		var s DatasetSample
+		s.Name = r.str()
+		nv := r.uvarint()
+		if r.err == nil && nv > 1<<24 {
+			return nil, fmt.Errorf("%w: sample size %d", ErrBadFormat, nv)
+		}
+		for j := uint64(0); j < nv && r.err == nil; j++ {
+			s.Values = append(s.Values, math.Float64frombits(r.uvarint()))
+		}
+		t.Samples = append(t.Samples, s)
+	}
+	nEvents := r.uvarint()
+	if r.err == nil && nEvents > 1<<32 {
+		return nil, fmt.Errorf("%w: event count %d", ErrBadFormat, nEvents)
+	}
+	if r.err == nil && nEvents < 1<<24 {
+		t.Events = make([]Event, 0, nEvents)
+	}
+	var prevStart time.Duration
+	for i := uint64(0); i < nEvents && r.err == nil; i++ {
+		var e Event
+		e.Level = Level(r.uvarint())
+		e.Op = Op(r.uvarint())
+		e.Lib = Lib(r.uvarint())
+		e.Rank = int32(r.intBounded("rank", math.MaxInt32))
+		e.Node = int32(r.intBounded("node", math.MaxInt32))
+		e.App = int32(r.varint())
+		e.File = int32(r.varint())
+		e.Offset = r.varint()
+		e.Size = r.varint()
+		e.Start = prevStart + time.Duration(r.varint())
+		e.End = e.Start + time.Duration(r.varint())
+		prevStart = e.Start
+		t.Events = append(t.Events, e)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return t, nil
+}

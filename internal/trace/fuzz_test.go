@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the trace decoder against corrupt input: any byte
+// stream must either decode cleanly or return an error — never panic,
+// hang, or allocate unboundedly.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace, its truncations, and mutations.
+	tr := NewTracer()
+	tr.SetMeta(Meta{Workload: "fuzz", Nodes: 2, Ranks: 4, PFSDir: "/p/gpfs1"})
+	id := tr.FileID("/p/gpfs1/f")
+	tr.AddSample("s", []float64{1, 2, 3})
+	tr.Record(Event{Op: OpWrite, File: id, Size: 4096, Start: 1, End: 2})
+	tr.Record(Event{Op: OpRead, File: id, Size: 128, Start: 3, End: 5})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr.Finish()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("VANITRC1"))
+	f.Add([]byte("garbage"))
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 20 {
+		mutated[20] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded traces must survive re-encoding.
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+	})
+}

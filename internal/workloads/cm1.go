@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"vani/internal/sim"
+	"vani/internal/storage"
+)
+
+// CM1 models the atmospheric-simulation workload of Section IV-A1 /
+// Figure 1. Its documented I/O signature:
+//
+//   - 1280 POSIX ranks on 32 nodes; separate read, write and compute phases.
+//   - Startup reads the 16MB configuration files (FPP access, large
+//     transfers: "large reads achieve 64GB/s aggregate").
+//   - 193 simulation steps; each step all ranks compute, then every node
+//     leader opens the shared step file but only rank 0 writes the
+//     simulation data, sequentially in 4KB transfers ("small writes achieve
+//     64MB/s"), dominating I/O time.
+//   - Data is a 3D array with normally distributed values (Table VI).
+type CM1 struct {
+	ConfigFiles    int           // 16MB configuration files read at startup
+	ConfigFileSize int64         //
+	Steps          int           // simulation steps
+	StepFiles      int           // shared output files, cycled per step
+	WritePerStep   int64         // bytes written by rank 0 each step
+	WriteGranule   int64         // transfer size of the writes
+	ComputePerStep time.Duration // CPU time per step across all ranks
+}
+
+// NewCM1 returns the paper-scale CM1 configuration.
+func NewCM1() *CM1 {
+	return &CM1{
+		ConfigFiles:    737,
+		ConfigFileSize: 16 * storage.MiB,
+		Steps:          193,
+		StepFiles:      37,
+		WritePerStep:   5632 * storage.KiB, // ~5.5MiB; 193 steps ≈ 1GB total
+		WriteGranule:   4 * storage.KiB,
+		ComputePerStep: 3 * time.Second,
+	}
+}
+
+// Name implements Workload.
+func (w *CM1) Name() string { return "cm1" }
+
+// AppName implements Workload.
+func (w *CM1) AppName() string { return "cm1" }
+
+// DefaultSpec implements Workload: 32 nodes x 40 CPU ranks, 2h limit.
+func (w *CM1) DefaultSpec() Spec {
+	s := DefaultSpec()
+	s.TimeLimit = 2 * time.Hour
+	return s
+}
+
+func (w *CM1) configPath(i int) string {
+	return fmt.Sprintf("/p/gpfs1/cm1/config/namelist_%04d.bin", i)
+}
+
+func (w *CM1) stepPath(i int) string {
+	return fmt.Sprintf("/p/gpfs1/cm1/out/cm1out_%03d.bin", i)
+}
+
+// Setup stages the configuration files and a dataset value sample.
+func (w *CM1) Setup(env *Env) {
+	n := scaleN(w.ConfigFiles, env.Spec.Scale, 1)
+	for i := 0; i < n; i++ {
+		env.Sys.Materialize(0, w.configPath(i), w.ConfigFileSize)
+	}
+	// Step files exist from a prior leg of the simulation (checkpointed
+	// runs append); pre-creating them keeps the leaders' non-creating
+	// opens valid regardless of rank wake order within a step.
+	for i := 0; i < scaleN(w.StepFiles, env.Spec.Scale, 1); i++ {
+		env.Sys.Materialize(0, w.stepPath(i), 0)
+	}
+	// CM1's atmospheric state variables are normally distributed.
+	sample := make([]float64, 2000)
+	rng := env.RNG.Fork()
+	for i := range sample {
+		sample[i] = rng.Normal(288, 12) // temperatures around 288K
+	}
+	env.Tr.AddSample("cm1-state", sample)
+}
+
+// Spawn implements Workload.
+func (w *CM1) Spawn(env *Env) {
+	spec := env.Spec
+	nCfg := scaleN(w.ConfigFiles, spec.Scale, 1)
+	steps := scaleN(w.Steps, spec.Scale, 1)
+	nStepFiles := scaleN(w.StepFiles, spec.Scale, 1)
+	ranks := env.Job.Ranks()
+	stepBar := sim.NewBarrier(env.E, ranks)
+
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		cl := env.Client(w.AppName(), rank)
+		env.E.Spawn(fmt.Sprintf("cm1-rank%d", rank), func(p *sim.Proc) {
+			// Phase 1: configuration read. The first nCfg ranks each read
+			// one 16MB config file with large sequential transfers.
+			if rank < nCfg {
+				path := w.configPath(rank)
+				cl.DescribeFile(path, "bin", 3, "float")
+				f, err := cl.PosixOpen(p, path, false)
+				if err != nil {
+					panic(err)
+				}
+				if err := f.Read(p, w.ConfigFileSize); err != nil {
+					panic(err)
+				}
+				if err := f.Close(p); err != nil {
+					panic(err)
+				}
+			}
+			cl.Barrier(p, stepBar)
+
+			// Phase 2: alternating compute and simulation output.
+			for s := 0; s < steps; s++ {
+				cl.Compute(p, w.ComputePerStep)
+				path := w.stepPath(s % nStepFiles)
+				if env.Job.IsNodeLeader(rank) {
+					// Every node leader opens and closes the step file, but
+					// only rank 0 writes (Figure 1b).
+					f, err := cl.PosixOpen(p, path, false)
+					if err != nil {
+						panic(err)
+					}
+					if rank == 0 {
+						cl.DescribeFile(path, "bin", 3, "float")
+						base, _ := env.Sys.FileSize(0, path)
+						for off := int64(0); off < w.WritePerStep; off += w.WriteGranule {
+							if err := f.Seek(p, base+off); err != nil {
+								panic(err)
+							}
+							n := w.WriteGranule
+							if off+n > w.WritePerStep {
+								n = w.WritePerStep - off
+							}
+							if err := f.WriteAt(p, base+off, n, false); err != nil {
+								panic(err)
+							}
+						}
+					}
+					if err := f.Close(p); err != nil {
+						panic(err)
+					}
+				}
+				cl.Barrier(p, stepBar)
+			}
+		})
+	}
+}

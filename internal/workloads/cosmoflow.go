@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"vani/internal/sim"
+	"vani/internal/storage"
+)
+
+// CosmoFlow models the deep-learning workload of Section IV-A3 / Figure 3
+// and the Section V-A case study:
+//
+//   - 128 ranks (4 per node, one per GPU) on 32 nodes; I/O on CPU while
+//     training runs on GPU.
+//   - The 1.5TB dataset is ~50K HDF5 files of 32MB each, read shared via
+//     HDF5 over MPI-IO with ~4MB dataset accesses. The files are not
+//     chunked, so every access multiplies metadata operations; combined
+//     with collective synchronization on GPFS this makes 98% of I/O time
+//     metadata ("small accesses achieve 100KB/s-3.5MB/s").
+//   - Periodic checkpoints write 20MB in 40KB operations.
+//
+// With Spec.Optimized the paper's reconfiguration applies: an
+// MPIFileUtils-style parallel preload stages each node's shard of the
+// dataset into /dev/shm, and training reads locally with node-scoped
+// MPI-IO (communicator of 4 instead of 128), which is Figure 7's 2.2-4.6x.
+type CosmoFlow struct {
+	Files       int           // HDF5 sample files
+	FileSize    int64         // bytes per file
+	ReadGranule int64         // dataset access size
+	GPUPerFile  time.Duration // training compute per sample file
+	Checkpoints int           // checkpoint episodes (rank 0)
+	CkptBytes   int64         // bytes per checkpoint
+	CkptGranule int64         // checkpoint write size
+}
+
+// NewCosmoFlow returns the paper-scale configuration (dataset
+// "2019_05_4parE": ~50K samples of 32MB).
+func NewCosmoFlow() *CosmoFlow {
+	return &CosmoFlow{
+		Files:       49664,
+		FileSize:    32 * storage.MiB,
+		ReadGranule: 4 * storage.MiB,
+		GPUPerFile:  8 * time.Second,
+		Checkpoints: 4,
+		CkptBytes:   5 * storage.MiB,
+		CkptGranule: 40 * storage.KiB,
+	}
+}
+
+// Name implements Workload.
+func (w *CosmoFlow) Name() string { return "cosmoflow" }
+
+// AppName implements Workload.
+func (w *CosmoFlow) AppName() string { return "cosmoflow" }
+
+// DefaultSpec implements Workload: 4 ranks per node (GPU-bound), 6h limit.
+func (w *CosmoFlow) DefaultSpec() Spec {
+	s := DefaultSpec()
+	s.RanksPerNode = 4
+	s.TimeLimit = 6 * time.Hour
+	return s
+}
+
+func (w *CosmoFlow) pfsPath(i int) string {
+	return fmt.Sprintf("/p/gpfs1/cosmoflow/data/univ_%05d.h5", i)
+}
+
+func (w *CosmoFlow) shmPath(i int) string {
+	return fmt.Sprintf("/dev/shm/cosmoflow/univ_%05d.h5", i)
+}
+
+// Setup stages the HDF5 dataset on the PFS and attaches the gamma-shaped
+// voxel value sample (Table VI).
+func (w *CosmoFlow) Setup(env *Env) {
+	n := scaleN(w.Files, env.Spec.Scale, 1)
+	for i := 0; i < n; i++ {
+		env.Sys.Materialize(0, w.pfsPath(i), w.FileSize)
+	}
+	sample := make([]float64, 2000)
+	rng := env.RNG.Fork()
+	for i := range sample {
+		sample[i] = rng.Gamma(2.0, 3.0) // dark-matter density: gamma
+	}
+	env.Tr.AddSample("cosmoflow-voxels", sample)
+}
+
+// Spawn implements Workload.
+func (w *CosmoFlow) Spawn(env *Env) {
+	spec := env.Spec
+	nFiles := scaleN(w.Files, spec.Scale, 1)
+	ranks := env.Job.Ranks()
+	bar := sim.NewBarrier(env.E, ranks)
+	ckptEvery := nFiles/ranks/w.Checkpoints + 1
+
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		cl := env.Client(w.AppName(), rank)
+		env.E.Spawn(fmt.Sprintf("cosmoflow-rank%d", rank), func(p *sim.Proc) {
+			commSize := ranks
+			pathOf := w.pfsPath
+			if spec.Optimized {
+				// Preload stage (MPIFileUtils-style): every rank copies its
+				// shard from the PFS into node-local shared memory with
+				// large whole-file transfers.
+				pre := env.Client("dbcast", rank)
+				for i := rank; i < nFiles; i += ranks {
+					src, err := pre.PosixOpen(p, w.pfsPath(i), false)
+					if err != nil {
+						panic(err)
+					}
+					if err := src.Read(p, w.FileSize); err != nil {
+						panic(err)
+					}
+					if err := src.Close(p); err != nil {
+						panic(err)
+					}
+					dst, err := pre.PosixOpen(p, w.shmPath(i), true)
+					if err != nil {
+						panic(err)
+					}
+					if err := dst.Write(p, w.FileSize); err != nil {
+						panic(err)
+					}
+					if err := dst.Close(p); err != nil {
+						panic(err)
+					}
+				}
+				cl.Barrier(p, bar)
+				// Training now reads node-locally; HDF5 metadata stays on
+				// the node, and MPI-IO aggregation is node-scoped.
+				commSize = spec.RanksPerNode
+				pathOf = w.shmPath
+			}
+
+			done := 0
+			for i := rank; i < nFiles; i += ranks {
+				path := pathOf(i)
+				cl.DescribeFile(path, "hdf5", 3, "int")
+				h, err := cl.H5Open(p, path, false, commSize)
+				if err != nil {
+					panic(err)
+				}
+				for off := int64(0); off < w.FileSize; off += w.ReadGranule {
+					n := w.ReadGranule
+					if off+n > w.FileSize {
+						n = w.FileSize - off
+					}
+					if err := h.DatasetRead(p, off, n); err != nil {
+						panic(err)
+					}
+				}
+				if err := h.Close(p); err != nil {
+					panic(err)
+				}
+				cl.GPUCompute(p, w.GPUPerFile)
+				done++
+
+				// Periodic checkpoints by rank 0 during training.
+				if rank == 0 && done%ckptEvery == 0 {
+					ck := fmt.Sprintf("/p/gpfs1/cosmoflow/ckpt_%02d.h5", done/ckptEvery)
+					cl.DescribeFile(ck, "hdf5", 1, "float")
+					hc, err := cl.H5Open(p, ck, true, commSize)
+					if err != nil {
+						panic(err)
+					}
+					for off := int64(0); off < w.CkptBytes; off += w.CkptGranule {
+						n := w.CkptGranule
+						if off+n > w.CkptBytes {
+							n = w.CkptBytes - off
+						}
+						if err := hc.DatasetWrite(p, off, n); err != nil {
+							panic(err)
+						}
+					}
+					if err := hc.Close(p); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+	}
+}

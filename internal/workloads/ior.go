@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"vani/internal/sim"
+	"vani/internal/storage"
+)
+
+// IOR models the configurable I/O benchmark the paper uses to measure the
+// storage entities' achievable bandwidth (Table IX: "64GB/s using 32 node
+// IOR"). It is also the natural probe for users exploring their system
+// before characterizing a real application: file-per-process or
+// single-shared-file, configurable transfer size, write phase then
+// optional read-back.
+type IOR struct {
+	BytesPerRank int64 // volume each rank writes (and reads back)
+	TransferSize int64 //
+	SharedFile   bool  // single shared file instead of file-per-process
+	ReadBack     bool  // verify phase re-reading the data
+	FsyncOnClose bool  // fsync before close, like IOR's -e
+}
+
+// NewIOR returns the Table IX configuration: 4GB per node-rank in 16MB
+// transfers, file-per-process, write then read.
+func NewIOR() *IOR {
+	return &IOR{
+		BytesPerRank: 4 * storage.GiB,
+		TransferSize: 16 * storage.MiB,
+		SharedFile:   false,
+		ReadBack:     true,
+		FsyncOnClose: true,
+	}
+}
+
+// Name implements Workload.
+func (w *IOR) Name() string { return "ior" }
+
+// AppName implements Workload.
+func (w *IOR) AppName() string { return "ior" }
+
+// DefaultSpec implements Workload: one rank per node, the IOR
+// configuration of the Table IX probe.
+func (w *IOR) DefaultSpec() Spec {
+	s := DefaultSpec()
+	s.RanksPerNode = 1
+	s.TimeLimit = time.Hour
+	return s
+}
+
+func (w *IOR) pathFor(spec Spec, rank int) string {
+	if w.SharedFile {
+		return spec.Machine.PFSDir + "/ior/testfile"
+	}
+	return fmt.Sprintf("%s/ior/testfile.%05d", spec.Machine.PFSDir, rank)
+}
+
+// Setup pre-creates the shared file so every rank's open succeeds
+// regardless of arrival order.
+func (w *IOR) Setup(env *Env) {
+	if w.SharedFile {
+		env.Sys.Materialize(0, w.pathFor(env.Spec, 0), 0)
+	}
+	sample := make([]float64, 1000)
+	rng := env.RNG.Fork()
+	for i := range sample {
+		sample[i] = rng.Uniform(0, 1) // IOR writes synthetic uniform junk
+	}
+	env.Tr.AddSample("ior-data", sample)
+}
+
+// Spawn implements Workload.
+func (w *IOR) Spawn(env *Env) {
+	spec := env.Spec
+	perRank := scaleBytes(w.BytesPerRank, spec.Scale, w.TransferSize)
+	// IOR issues whole blocks: round the per-rank volume to the transfer
+	// size.
+	perRank -= perRank % w.TransferSize
+	ranks := env.Job.Ranks()
+	bar := sim.NewBarrier(env.E, ranks)
+
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		cl := env.Client(w.AppName(), rank)
+		env.E.Spawn(fmt.Sprintf("ior-rank%d", rank), func(p *sim.Proc) {
+			path := w.pathFor(spec, rank)
+			cl.DescribeFile(path, "bin", 1, "byte")
+			base := int64(0)
+			if w.SharedFile {
+				base = int64(rank) * perRank
+			}
+
+			// Write phase.
+			f, err := cl.PosixOpen(p, path, !w.SharedFile)
+			if err != nil {
+				panic(err)
+			}
+			for off := int64(0); off < perRank; off += w.TransferSize {
+				n := w.TransferSize
+				if off+n > perRank {
+					n = perRank - off
+				}
+				if err := f.WriteAt(p, base+off, n, false); err != nil {
+					panic(err)
+				}
+			}
+			if w.FsyncOnClose {
+				if err := f.Sync(p); err != nil {
+					panic(err)
+				}
+			}
+			if err := f.Close(p); err != nil {
+				panic(err)
+			}
+			cl.Barrier(p, bar)
+
+			// Read-back phase.
+			if !w.ReadBack {
+				return
+			}
+			f, err = cl.PosixOpen(p, path, false)
+			if err != nil {
+				panic(err)
+			}
+			for off := int64(0); off < perRank; off += w.TransferSize {
+				n := w.TransferSize
+				if off+n > perRank {
+					n = perRank - off
+				}
+				if err := f.ReadAt(p, base+off, n, false); err != nil {
+					panic(err)
+				}
+			}
+			if err := f.Close(p); err != nil {
+				panic(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"vani/internal/iface"
+	"vani/internal/sim"
+	"vani/internal/storage"
+)
+
+// JAG models the JAG ICF surrogate-training workload of Section IV-A4 /
+// Figure 4:
+//
+//   - 128 ranks (4 per node, GPU training) reading a single 200MB NumPy
+//     (.npy) dataset of ~50K small samples through STDIO.
+//   - During the first epoch every rank streams the full dataset in
+//     sample-sized (<4KB) accesses, then caches it in memory for the
+//     remaining epochs (Table I: 25GB read = 128 ranks x 200MB).
+//   - Each epoch rank 0 appends a ~20KB checkpoint in 4KB writes.
+//   - A validation phase at the end re-reads a random subset with
+//     seek+read pairs, the second I/O phase visible in Figure 4c.
+//   - Metadata operations (opens, seeks) dominate the op mix (~70%).
+type JAG struct {
+	DatasetBytes    int64         // .npy dataset size
+	SampleSize      int64         // bytes per sample (drives access size)
+	Epochs          int           //
+	ComputePerEpoch time.Duration // GPU time per epoch
+	CkptBytes       int64         // checkpoint bytes per epoch (rank 0)
+	CkptGranule     int64         //
+	ValidationReads int           // random sample re-reads per rank at end
+}
+
+// NewJAG returns the paper-scale configuration (200MB npy, 100 epochs,
+// batch size 128).
+func NewJAG() *JAG {
+	return &JAG{
+		DatasetBytes:    200 * storage.MiB,
+		SampleSize:      4 * storage.KiB,
+		Epochs:          100,
+		ComputePerEpoch: 11 * time.Second,
+		CkptBytes:       20 * storage.KiB,
+		CkptGranule:     4 * storage.KiB,
+		ValidationReads: 512,
+	}
+}
+
+// Name implements Workload.
+func (w *JAG) Name() string { return "jag" }
+
+// AppName implements Workload.
+func (w *JAG) AppName() string { return "jag" }
+
+// DefaultSpec implements Workload: 4 GPU ranks per node, 6h limit.
+func (w *JAG) DefaultSpec() Spec {
+	s := DefaultSpec()
+	s.RanksPerNode = 4
+	s.TimeLimit = 6 * time.Hour
+	// The NumPy loader spends ~3ms of interpreter/deserialization time
+	// around every sample access; Recorder sees it inside the call span.
+	s.Iface.StdioPerOpCPU = 3 * time.Millisecond
+	return s
+}
+
+const jagDataPath = "/p/gpfs1/jag/images_scalars.npy"
+const jagCkptPath = "/p/gpfs1/jag/ckpt.bin"
+
+// Setup stages the dataset and its (normal) value sample.
+func (w *JAG) Setup(env *Env) {
+	env.Sys.Materialize(0, jagDataPath, scaleBytes(w.DatasetBytes, env.Spec.Scale, w.SampleSize))
+	sample := make([]float64, 2000)
+	rng := env.RNG.Fork()
+	for i := range sample {
+		sample[i] = rng.Normal(0, 1) // standardized image channels
+	}
+	env.Tr.AddSample("jag-samples", sample)
+}
+
+// Spawn implements Workload.
+func (w *JAG) Spawn(env *Env) {
+	spec := env.Spec
+	dataset := scaleBytes(w.DatasetBytes, spec.Scale, w.SampleSize)
+	samples := int(dataset / w.SampleSize)
+	valReads := scaleN(w.ValidationReads, spec.Scale, 8)
+	ranks := env.Job.Ranks()
+	bar := sim.NewBarrier(env.E, ranks)
+
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		cl := env.Client(w.AppName(), rank)
+		rng := env.RNG.Fork()
+		env.E.Spawn(fmt.Sprintf("jag-rank%d", rank), func(p *sim.Proc) {
+			cl.DescribeFile(jagDataPath, "npy", 3, "float")
+
+			// First epoch: stream the whole dataset in sample-sized reads,
+			// caching it in memory; every rank opens and closes once.
+			f, err := cl.StdioOpen(p, jagDataPath, 'r')
+			if err != nil {
+				panic(err)
+			}
+			for s := 0; s < samples; s++ {
+				if err := f.Read(p, w.SampleSize); err != nil {
+					panic(err)
+				}
+			}
+			cl.GPUCompute(p, w.ComputePerEpoch)
+			if rank == 0 {
+				w.checkpoint(cl, p)
+			}
+			cl.Barrier(p, bar)
+
+			// Remaining epochs run from the in-memory cache: GPU only,
+			// plus rank 0's periodic checkpoint.
+			for e := 1; e < w.Epochs; e++ {
+				cl.GPUCompute(p, w.ComputePerEpoch)
+				if rank == 0 {
+					w.checkpoint(cl, p)
+				}
+			}
+			cl.Barrier(p, bar)
+
+			// Validation: random sample accesses (seek+read) at the end.
+			for i := 0; i < valReads; i++ {
+				off := rng.Int63n(int64(samples)) * w.SampleSize
+				if err := f.Seek(p, off); err != nil {
+					panic(err)
+				}
+				if err := f.Read(p, w.SampleSize); err != nil {
+					panic(err)
+				}
+			}
+			if err := f.Close(p); err != nil {
+				panic(err)
+			}
+		})
+	}
+}
+
+// checkpoint appends one epoch checkpoint as rank 0.
+func (w *JAG) checkpoint(cl *iface.Client, p *sim.Proc) {
+	f, err := cl.StdioOpen(p, jagCkptPath, 'w')
+	if err != nil {
+		panic(err)
+	}
+	for off := int64(0); off < w.CkptBytes; off += w.CkptGranule {
+		n := w.CkptGranule
+		if off+n > w.CkptBytes {
+			n = w.CkptBytes - off
+		}
+		if err := f.Write(p, n); err != nil {
+			panic(err)
+		}
+	}
+	if err := f.Close(p); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,531 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"vani/internal/trace"
+)
+
+// tinySpec returns a fast configuration for tests: 4 nodes, small scale.
+func tinySpec(w Workload, scale float64) Spec {
+	s := w.DefaultSpec()
+	s.Nodes = 4
+	if s.RanksPerNode > 8 {
+		s.RanksPerNode = 8
+	}
+	s.Scale = scale
+	return s
+}
+
+func mustRun(t *testing.T, w Workload, spec Spec) *Result {
+	t.Helper()
+	res, err := Run(w, spec)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", w.Name(), err)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"cm1", "cosmoflow", "hacc", "ior", "jag", "montage-mpi", "montage-pegasus"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if len(All()) != len(want) {
+		t.Error("All() incomplete")
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	w := NewHACC()
+	for _, scale := range []float64{0, -1, 1.5} {
+		s := tinySpec(w, scale)
+		if _, err := Run(w, s); err == nil {
+			t.Errorf("scale %v accepted", scale)
+		}
+	}
+}
+
+func TestRunRejectsBadJob(t *testing.T) {
+	w := NewHACC()
+	s := tinySpec(w, 0.01)
+	s.Nodes = 0
+	if _, err := Run(w, s); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+// perWorkload invariants checked for every exemplar.
+func checkCommonInvariants(t *testing.T, w Workload, res *Result) {
+	t.Helper()
+	tr := res.Trace
+	if len(tr.Events) == 0 {
+		t.Fatalf("%s: empty trace", w.Name())
+	}
+	if res.Runtime <= 0 {
+		t.Errorf("%s: runtime %v", w.Name(), res.Runtime)
+	}
+	if tr.Meta.Workload != w.Name() {
+		t.Errorf("%s: meta workload %q", w.Name(), tr.Meta.Workload)
+	}
+	if tr.JobRuntime() > res.Runtime {
+		t.Errorf("%s: events end (%v) after job end (%v)", w.Name(), tr.JobRuntime(), res.Runtime)
+	}
+	ranks := map[int32]bool{}
+	for _, ev := range tr.Events {
+		if ev.End < ev.Start {
+			t.Fatalf("%s: event ends before start: %+v", w.Name(), ev)
+		}
+		if ev.Op.IsData() && ev.Size <= 0 {
+			t.Fatalf("%s: data op with size %d", w.Name(), ev.Size)
+		}
+		if int(ev.Node) >= res.Spec.Nodes || ev.Node < 0 {
+			t.Fatalf("%s: event on node %d of %d", w.Name(), ev.Node, res.Spec.Nodes)
+		}
+		ranks[ev.Rank] = true
+	}
+	if len(ranks) < res.Job.Ranks()/2 {
+		t.Errorf("%s: only %d of %d ranks traced", w.Name(), len(ranks), res.Job.Ranks())
+	}
+	if len(tr.Samples) == 0 {
+		t.Errorf("%s: no dataset value sample attached", w.Name())
+	}
+}
+
+func countByOp(tr *trace.Trace) (data, meta int) {
+	for _, ev := range tr.Events {
+		switch {
+		case ev.Op.IsData():
+			data++
+		case ev.Op.IsMeta():
+			meta++
+		}
+	}
+	return
+}
+
+func bytesByOp(tr *trace.Trace, lv trace.Level) (read, written int64) {
+	for _, ev := range tr.Events {
+		if ev.Level != lv {
+			continue
+		}
+		switch ev.Op {
+		case trace.OpRead:
+			read += ev.Size
+		case trace.OpWrite:
+			written += ev.Size
+		}
+	}
+	return
+}
+
+func TestCM1Shape(t *testing.T) {
+	w := NewCM1()
+	res := mustRun(t, w, tinySpec(w, 0.05))
+	checkCommonInvariants(t, w, res)
+	tr := res.Trace
+
+	// Only rank 0 writes simulation data; node leaders open/close.
+	writers := map[int32]bool{}
+	openers := map[int32]bool{}
+	for _, ev := range tr.Events {
+		if ev.Level != trace.LevelPosix || ev.File < 0 {
+			continue
+		}
+		isStep := tr.Files[ev.File].Path[:17] == "/p/gpfs1/cm1/out/"
+		if !isStep {
+			continue
+		}
+		if ev.Op == trace.OpWrite {
+			writers[ev.Rank] = true
+		}
+		if ev.Op == trace.OpOpen {
+			openers[ev.Rank] = true
+		}
+	}
+	if len(writers) != 1 || !writers[0] {
+		t.Errorf("step-file writers = %v, want {0}", writers)
+	}
+	if len(openers) != res.Spec.Nodes {
+		t.Errorf("step-file openers = %d ranks, want one per node (%d)", len(openers), res.Spec.Nodes)
+	}
+
+	// Writes are 4KB, reads are 16MB.
+	for _, ev := range tr.Events {
+		if ev.Level == trace.LevelPosix && ev.Op == trace.OpWrite && ev.Size > 4096 {
+			t.Fatalf("CM1 write of %d bytes, want <=4KB", ev.Size)
+		}
+	}
+}
+
+func TestCM1ComputeAndIOAlternate(t *testing.T) {
+	w := NewCM1()
+	res := mustRun(t, w, tinySpec(w, 0.03))
+	var compute, io time.Duration
+	for _, ev := range res.Trace.Events {
+		if ev.Op == trace.OpCompute {
+			compute += ev.Duration()
+		} else if ev.Op.IsIO() && ev.Rank == 0 {
+			io += ev.Duration()
+		}
+	}
+	if compute == 0 || io == 0 {
+		t.Fatal("missing compute or I/O phases")
+	}
+}
+
+func TestHACCShape(t *testing.T) {
+	w := NewHACC()
+	spec := tinySpec(w, 0.02)
+	res := mustRun(t, w, spec)
+	checkCommonInvariants(t, w, res)
+	tr := res.Trace
+
+	// Pure FPP: every data file is touched by exactly one rank.
+	fileRanks := map[int32]map[int32]bool{}
+	for _, ev := range tr.Events {
+		if ev.File < 0 || !ev.Op.IsIO() {
+			continue
+		}
+		if fileRanks[ev.File] == nil {
+			fileRanks[ev.File] = map[int32]bool{}
+		}
+		fileRanks[ev.File][ev.Rank] = true
+	}
+	for f, rs := range fileRanks {
+		if len(rs) != 1 {
+			t.Errorf("HACC file %s accessed by %d ranks, want 1", tr.FilePath(f), len(rs))
+		}
+	}
+	if len(fileRanks) != res.Job.Ranks() {
+		t.Errorf("HACC files = %d, want one per rank (%d)", len(fileRanks), res.Job.Ranks())
+	}
+
+	// Checkpoint written then read back: bytes match.
+	read, written := bytesByOp(tr, trace.LevelPosix)
+	if read != written {
+		t.Errorf("HACC read %d != written %d (checkpoint+restart must balance)", read, written)
+	}
+}
+
+func TestHACCBandwidthVariance(t *testing.T) {
+	// Contention must make per-rank I/O times differ (Figure 2c). The
+	// client cache is disabled so writes hit the PFS directly; at full
+	// scale the cache overflows and the same contention appears.
+	w := NewHACC()
+	spec := tinySpec(w, 0.02)
+	spec.Storage.CacheEnabled = false
+	res := mustRun(t, w, spec)
+	perRank := map[int32]time.Duration{}
+	for _, ev := range res.Trace.Events {
+		if ev.Level == trace.LevelPosix && ev.Op == trace.OpWrite {
+			perRank[ev.Rank] += ev.Duration()
+		}
+	}
+	var min, max time.Duration
+	for _, d := range perRank {
+		if min == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max == min {
+		t.Error("all ranks saw identical write time; contention model inert")
+	}
+}
+
+func TestCosmoFlowShape(t *testing.T) {
+	w := NewCosmoFlow()
+	w.GPUPerFile = 100 * time.Millisecond // shrink compute for test speed
+	spec := tinySpec(w, 0.002)            // ~100 files
+	res := mustRun(t, w, spec)
+	checkCommonInvariants(t, w, res)
+	tr := res.Trace
+
+	data, meta := countByOp(tr)
+	if meta <= data {
+		t.Errorf("CosmoFlow meta ops (%d) not dominant over data (%d)", meta, data)
+	}
+	// HDF5 level present.
+	hasApp := false
+	for _, ev := range tr.Events {
+		if ev.Level == trace.LevelApp && ev.Op == trace.OpRead {
+			hasApp = true
+			break
+		}
+	}
+	if !hasApp {
+		t.Error("no app-level HDF5 reads traced")
+	}
+}
+
+func TestCosmoFlowOptimizedFaster(t *testing.T) {
+	w := NewCosmoFlow()
+	w.GPUPerFile = 0 // isolate I/O
+	base := tinySpec(w, 0.002)
+	// Both runs move the whole dataset over the client NIC once; uncap it
+	// so the metadata difference (the paper's bottleneck) is visible at
+	// this tiny test scale.
+	base.Storage.NodeNICBW = 0
+	opt := base
+	opt.Optimized = true
+	rb := mustRun(t, w, base)
+	ro := mustRun(t, w, opt)
+	if ro.Runtime >= rb.Runtime {
+		t.Errorf("optimized (%v) not faster than baseline (%v)", ro.Runtime, rb.Runtime)
+	}
+}
+
+func TestJAGShape(t *testing.T) {
+	w := NewJAG()
+	w.Epochs = 5
+	w.ComputePerEpoch = 100 * time.Millisecond
+	res := mustRun(t, w, tinySpec(w, 0.02))
+	checkCommonInvariants(t, w, res)
+	tr := res.Trace
+
+	// Single shared dataset file read by all ranks.
+	readers := map[int32]bool{}
+	for _, ev := range tr.Events {
+		if ev.File >= 0 && tr.Files[ev.File].Path == jagDataPath && ev.Op == trace.OpRead {
+			readers[ev.Rank] = true
+		}
+	}
+	if len(readers) != res.Job.Ranks() {
+		t.Errorf("JAG dataset read by %d ranks, want all %d", len(readers), res.Job.Ranks())
+	}
+
+	// Two I/O phases: reads at start and at end, compute between.
+	var firstIOEnd, lastIOStart time.Duration
+	var maxComputeEnd time.Duration
+	for _, ev := range tr.Events {
+		if ev.Op == trace.OpGPUCompute && ev.End > maxComputeEnd {
+			maxComputeEnd = ev.End
+		}
+	}
+	for _, ev := range tr.Events {
+		if ev.Op == trace.OpRead && ev.File >= 0 && tr.Files[ev.File].Path == jagDataPath {
+			if firstIOEnd == 0 || ev.End < firstIOEnd {
+				firstIOEnd = ev.End
+			}
+			if ev.Start > lastIOStart {
+				lastIOStart = ev.Start
+			}
+		}
+	}
+	if lastIOStart <= maxComputeEnd-2*w.ComputePerEpoch {
+		t.Error("no validation I/O phase after training")
+	}
+}
+
+func TestMontageMPIShape(t *testing.T) {
+	w := NewMontageMPI()
+	res := mustRun(t, w, tinySpec(w, 0.1))
+	checkCommonInvariants(t, w, res)
+	tr := res.Trace
+
+	// Five applications.
+	apps := map[string]bool{}
+	for _, a := range tr.Apps {
+		apps[a] = true
+	}
+	for _, want := range []string{"mProject", "mImgtbl", "mAddMPI", "mShrink", "mViewer"} {
+		if !apps[want] {
+			t.Errorf("app %s missing from trace (have %v)", want, tr.Apps)
+		}
+	}
+
+	// Node leaders do far more I/O ops than non-leaders.
+	perRank := map[int32]int{}
+	for _, ev := range tr.Events {
+		if ev.Op.IsIO() {
+			perRank[ev.Rank]++
+		}
+	}
+	leader, nonLeader := perRank[0], perRank[1]
+	if leader < 5*nonLeader {
+		t.Errorf("leader ops (%d) not >> non-leader ops (%d)", leader, nonLeader)
+	}
+}
+
+func TestMontageMPIOptimizedFaster(t *testing.T) {
+	w := NewMontageMPI()
+	// Remove compute so the I/O difference dominates.
+	w.ProjectCompute, w.AddCompute, w.ShrinkCompute, w.ViewerCompute = 0, 0, 0, 0
+	base := tinySpec(w, 0.1)
+	opt := base
+	opt.Optimized = true
+	rb := mustRun(t, w, base)
+	ro := mustRun(t, w, opt)
+	if ro.Runtime >= rb.Runtime {
+		t.Errorf("optimized (%v) not faster than baseline (%v)", ro.Runtime, rb.Runtime)
+	}
+	// Optimized run must route intermediate traffic to node-local storage.
+	if ro.Sys.Stats[1].BytesWritten == 0 { // TargetNodeLocal
+		t.Error("optimized run wrote nothing to node-local storage")
+	}
+}
+
+func TestMontagePegasusShape(t *testing.T) {
+	w := NewMontagePegasus()
+	res := mustRun(t, w, tinySpec(w, 0.02))
+	checkCommonInvariants(t, w, res)
+	tr := res.Trace
+
+	// Nine kernels.
+	apps := map[string]bool{}
+	for _, a := range tr.Apps {
+		apps[a] = true
+	}
+	for _, want := range []string{"mProject", "mImgTbl", "mDiff", "mFitplane",
+		"mConcatFit", "mBgModel", "mBackground", "mAdd", "mViewer"} {
+		if !apps[want] {
+			t.Errorf("kernel %s missing (have %v)", want, tr.Apps)
+		}
+	}
+
+	// mViewer's two large requests.
+	bigReads := 0
+	for _, ev := range tr.Events {
+		if ev.Level == trace.LevelPosix && ev.Op == trace.OpRead && ev.Size > 16<<20 {
+			bigReads++
+		}
+	}
+	if bigReads != 2 {
+		t.Errorf("large (>16MB) reads = %d, want 2 (mViewer)", bigReads)
+	}
+}
+
+func TestMontagePegasusDiffDominates(t *testing.T) {
+	w := NewMontagePegasus()
+	res := mustRun(t, w, tinySpec(w, 0.02))
+	tr := res.Trace
+	byApp := map[string]int64{}
+	for _, ev := range tr.Events {
+		if ev.Level == trace.LevelMiddleware && ev.Op == trace.OpRead {
+			byApp[tr.AppName(ev.App)] += ev.Size
+		}
+	}
+	var total int64
+	for _, b := range byApp {
+		total += b
+	}
+	if total == 0 || byApp["mDiff"]*2 < total {
+		t.Errorf("mDiff reads %d of %d bytes, want majority", byApp["mDiff"], total)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	w := NewHACC()
+	spec := tinySpec(w, 0.01)
+	a := mustRun(t, w, spec)
+	b := mustRun(t, w, spec)
+	if a.Runtime != b.Runtime {
+		t.Fatalf("runtimes differ: %v vs %v", a.Runtime, b.Runtime)
+	}
+	if len(a.Trace.Events) != len(b.Trace.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Trace.Events), len(b.Trace.Events))
+	}
+	for i := range a.Trace.Events {
+		if a.Trace.Events[i] != b.Trace.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestTraceOverheadAddsRuntime(t *testing.T) {
+	w := NewHACC()
+	spec := tinySpec(w, 0.01)
+	base := mustRun(t, w, spec)
+	spec.TraceOverhead = 50 * time.Microsecond
+	traced := mustRun(t, w, spec)
+	if traced.Runtime <= base.Runtime {
+		t.Errorf("overhead run (%v) not slower than base (%v)", traced.Runtime, base.Runtime)
+	}
+	if traced.Trace.Meta.TraceOverhead == 0 {
+		t.Error("trace overhead not recorded in meta")
+	}
+}
+
+func TestTracingDisabledProducesNoEvents(t *testing.T) {
+	w := NewHACC()
+	spec := tinySpec(w, 0.01)
+	spec.TraceEnabled = false
+	res := mustRun(t, w, spec)
+	if len(res.Trace.Events) != 0 {
+		t.Errorf("disabled tracer captured %d events", len(res.Trace.Events))
+	}
+	if res.Runtime <= 0 {
+		t.Error("untraced run has no runtime")
+	}
+}
+
+func TestIORShape(t *testing.T) {
+	w := NewIOR()
+	spec := tinySpec(w, 0.01)
+	spec.RanksPerNode = 1
+	res := mustRun(t, w, spec)
+	checkCommonInvariants(t, w, res)
+	tr := res.Trace
+
+	read, written := bytesByOp(tr, trace.LevelPosix)
+	if read != written || written == 0 {
+		t.Errorf("IOR read %d / written %d, want equal nonzero", read, written)
+	}
+	// All transfers are TransferSize.
+	for _, ev := range tr.Events {
+		if ev.Op.IsData() && ev.Size != w.TransferSize {
+			t.Errorf("transfer of %d bytes, want %d", ev.Size, w.TransferSize)
+		}
+	}
+	// fsync traced.
+	syncs := 0
+	for _, ev := range tr.Events {
+		if ev.Op == trace.OpSync {
+			syncs++
+		}
+	}
+	if syncs != res.Job.Ranks() {
+		t.Errorf("syncs = %d, want one per rank", syncs)
+	}
+}
+
+func TestIORSharedFileMode(t *testing.T) {
+	w := NewIOR()
+	w.SharedFile = true
+	w.ReadBack = false
+	spec := tinySpec(w, 0.01)
+	spec.RanksPerNode = 2
+	res := mustRun(t, w, spec)
+	files := map[int32]bool{}
+	for _, ev := range res.Trace.Events {
+		if ev.File >= 0 {
+			files[ev.File] = true
+		}
+	}
+	if len(files) != 1 {
+		t.Errorf("shared-file IOR touched %d files, want 1", len(files))
+	}
+	// Ranks write disjoint regions at rank*perRank offsets.
+	offsets := map[int64]int32{}
+	for _, ev := range res.Trace.Events {
+		if ev.Op == trace.OpWrite {
+			if prev, dup := offsets[ev.Offset]; dup && prev != ev.Rank {
+				t.Fatalf("offset %d written by ranks %d and %d", ev.Offset, prev, ev.Rank)
+			}
+			offsets[ev.Offset] = ev.Rank
+		}
+	}
+}

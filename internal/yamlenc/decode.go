@@ -1,0 +1,430 @@
+package yamlenc
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Unmarshal parses the YAML subset this package emits back into a generic
+// tree: map[string]interface{} for mappings, []interface{} for sequences,
+// and string/float64/bool/nil scalars. The paper's vision is a storage
+// system that loads the characterization artifact; Unmarshal+Decode are
+// that loading path.
+func Unmarshal(data []byte) (interface{}, error) {
+	p := &parser{}
+	for _, raw := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("yamlenc: odd indentation in %q", raw)
+		}
+		p.lines = append(p.lines, line{depth: indent / 2, text: raw[indent:]})
+	}
+	if len(p.lines) == 0 {
+		return nil, nil
+	}
+	// A single line that is neither a mapping entry nor a sequence item is
+	// a bare scalar document.
+	if len(p.lines) == 1 && !strings.HasPrefix(p.lines[0].text, "- ") {
+		if _, _, err := splitKey(p.lines[0].text); err != nil {
+			return scalar(p.lines[0].text), nil
+		}
+	}
+	v, err := p.block(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("yamlenc: trailing content at %q", p.lines[p.pos].text)
+	}
+	return v, nil
+}
+
+type line struct {
+	depth int
+	text  string
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) peek() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// block parses a mapping or sequence whose entries sit at depth.
+func (p *parser) block(depth int) (interface{}, error) {
+	first, ok := p.peek()
+	if !ok || first.depth < depth {
+		return nil, fmt.Errorf("yamlenc: empty block")
+	}
+	if isSeqItem(first.text) {
+		return p.sequence(depth)
+	}
+	return p.mapping(depth)
+}
+
+func (p *parser) mapping(depth int) (interface{}, error) {
+	m := map[string]interface{}{}
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.depth < depth || isSeqItem(ln.text) {
+			break
+		}
+		if ln.depth != depth {
+			return nil, fmt.Errorf("yamlenc: unexpected indent at %q", ln.text)
+		}
+		key, rest, err := splitKey(ln.text)
+		if err != nil {
+			return nil, err
+		}
+		p.pos++
+		if rest != "" {
+			m[key] = scalar(rest)
+			continue
+		}
+		// Nested block at deeper indent, or an implicit empty value.
+		next, ok := p.peek()
+		if !ok || next.depth <= depth {
+			m[key] = nil
+			continue
+		}
+		v, err := p.block(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+func (p *parser) sequence(depth int) (interface{}, error) {
+	var seq []interface{}
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.depth != depth || !isSeqItem(ln.text) {
+			break
+		}
+		body := strings.TrimPrefix(ln.text, "-")
+		body = strings.TrimPrefix(body, " ")
+		if body == "" {
+			p.pos++
+			v, err := p.block(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if key, rest, err := splitKey(body); err == nil {
+			// "- key: value" starts an inline map item; its remaining keys
+			// sit one level deeper.
+			item := map[string]interface{}{}
+			p.pos++
+			if rest != "" {
+				item[key] = scalar(rest)
+			} else if next, ok := p.peek(); ok && next.depth > depth+1 {
+				v, err := p.block(depth + 2)
+				if err != nil {
+					return nil, err
+				}
+				item[key] = v
+			} else {
+				item[key] = nil
+			}
+			for {
+				next, ok := p.peek()
+				if !ok || next.depth != depth+1 || isSeqItem(next.text) {
+					break
+				}
+				k2, r2, err := splitKey(next.text)
+				if err != nil {
+					return nil, err
+				}
+				p.pos++
+				if r2 != "" {
+					item[k2] = scalar(r2)
+					continue
+				}
+				if deeper, ok := p.peek(); ok && deeper.depth > depth+1 {
+					v, err := p.block(depth + 2)
+					if err != nil {
+						return nil, err
+					}
+					item[k2] = v
+				} else {
+					item[k2] = nil
+				}
+			}
+			seq = append(seq, item)
+			continue
+		}
+		// Plain scalar item.
+		p.pos++
+		seq = append(seq, scalar(body))
+	}
+	return seq, nil
+}
+
+// isSeqItem reports whether a line starts a sequence item ("- x" or a
+// bare "-"); "-0" is a scalar, not an item.
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// splitKey splits "key: value" or "key:"; keys may be quoted.
+func splitKey(s string) (key, rest string, err error) {
+	if strings.HasPrefix(s, "\"") {
+		// Scan for the closing quote, honoring backslash escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Errorf("yamlenc: unterminated key in %q", s)
+		}
+		key, err = strconv.Unquote(s[:end+1])
+		if err != nil {
+			return "", "", err
+		}
+		s = s[end+1:]
+		if !strings.HasPrefix(s, ":") {
+			return "", "", fmt.Errorf("yamlenc: missing colon after key %q", key)
+		}
+		return key, strings.TrimPrefix(strings.TrimPrefix(s, ":"), " "), nil
+	}
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("yamlenc: no key in %q", s)
+	}
+	rest = s[i+1:]
+	if rest != "" && !strings.HasPrefix(rest, " ") {
+		return "", "", fmt.Errorf("yamlenc: malformed entry %q", s)
+	}
+	return s[:i], strings.TrimPrefix(rest, " "), nil
+}
+
+// scalar interprets a scalar token.
+func scalar(s string) interface{} {
+	switch s {
+	case "null":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	case "{}":
+		return map[string]interface{}{}
+	case "[]":
+		return []interface{}{}
+	}
+	if strings.HasPrefix(s, "\"") {
+		if u, err := strconv.Unquote(s); err == nil {
+			return u
+		}
+		return s
+	}
+	// Integers stay int64 so 64-bit values round-trip without float
+	// precision loss.
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// Decode unmarshals data and assigns it into out (a pointer to a struct),
+// matching fields by their yaml tag or lower-snake-case name — the inverse
+// of Marshal for the types the characterization uses.
+func Decode(data []byte, out interface{}) error {
+	tree, err := Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return fmt.Errorf("yamlenc: Decode target must be a non-nil pointer")
+	}
+	return assign(tree, rv.Elem())
+}
+
+func assign(v interface{}, dst reflect.Value) error {
+	if v == nil {
+		dst.Set(reflect.Zero(dst.Type()))
+		return nil
+	}
+	if dst.Kind() == reflect.Ptr {
+		if dst.IsNil() {
+			dst.Set(reflect.New(dst.Type().Elem()))
+		}
+		return assign(v, dst.Elem())
+	}
+	// time.Duration arrives as a string ("2h0m0s") or a bare number.
+	if dst.Type() == reflect.TypeOf(time.Duration(0)) {
+		switch t := v.(type) {
+		case string:
+			d, err := time.ParseDuration(t)
+			if err != nil {
+				return fmt.Errorf("yamlenc: bad duration %q: %v", t, err)
+			}
+			dst.SetInt(int64(d))
+			return nil
+		case int64:
+			dst.SetInt(t)
+			return nil
+		case float64:
+			dst.SetInt(int64(t))
+			return nil
+		}
+		return fmt.Errorf("yamlenc: cannot decode %T into time.Duration", v)
+	}
+	switch dst.Kind() {
+	case reflect.Struct:
+		m, ok := v.(map[string]interface{})
+		if !ok {
+			return fmt.Errorf("yamlenc: cannot decode %T into struct %s", v, dst.Type())
+		}
+		t := dst.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" {
+				continue
+			}
+			name := f.Tag.Get("yaml")
+			if name == "-" {
+				continue
+			}
+			if name == "" {
+				name = snake(f.Name)
+			}
+			fv, ok := m[name]
+			if !ok {
+				continue
+			}
+			if err := assign(fv, dst.Field(i)); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	case reflect.Map:
+		m, ok := v.(map[string]interface{})
+		if !ok {
+			return fmt.Errorf("yamlenc: cannot decode %T into map", v)
+		}
+		if len(m) == 0 {
+			// "{}" decodes to the zero map: nil and empty encode the same.
+			dst.Set(reflect.Zero(dst.Type()))
+			return nil
+		}
+		out := reflect.MakeMapWithSize(dst.Type(), len(m))
+		for k, mv := range m {
+			ev := reflect.New(dst.Type().Elem()).Elem()
+			if err := assign(mv, ev); err != nil {
+				return err
+			}
+			out.SetMapIndex(reflect.ValueOf(k).Convert(dst.Type().Key()), ev)
+		}
+		dst.Set(out)
+		return nil
+	case reflect.Slice:
+		s, ok := v.([]interface{})
+		if !ok {
+			return fmt.Errorf("yamlenc: cannot decode %T into slice", v)
+		}
+		if len(s) == 0 {
+			dst.Set(reflect.Zero(dst.Type()))
+			return nil
+		}
+		out := reflect.MakeSlice(dst.Type(), len(s), len(s))
+		for i, ev := range s {
+			if err := assign(ev, out.Index(i)); err != nil {
+				return err
+			}
+		}
+		dst.Set(out)
+		return nil
+	case reflect.String:
+		switch t := v.(type) {
+		case string:
+			dst.SetString(t)
+		case int64:
+			dst.SetString(strconv.FormatInt(t, 10))
+		case float64:
+			dst.SetString(strconv.FormatFloat(t, 'g', -1, 64))
+		case bool:
+			dst.SetString(strconv.FormatBool(t))
+		default:
+			return fmt.Errorf("yamlenc: cannot decode %T into string", v)
+		}
+		return nil
+	case reflect.Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("yamlenc: cannot decode %T into bool", v)
+		}
+		dst.SetBool(b)
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		switch t := v.(type) {
+		case int64:
+			dst.SetInt(t)
+		case float64:
+			dst.SetInt(int64(t))
+		default:
+			return fmt.Errorf("yamlenc: cannot decode %T into %s", v, dst.Kind())
+		}
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		switch t := v.(type) {
+		case int64:
+			if t < 0 {
+				return fmt.Errorf("yamlenc: negative value into %s", dst.Kind())
+			}
+			dst.SetUint(uint64(t))
+		case float64:
+			if t < 0 {
+				return fmt.Errorf("yamlenc: negative value into %s", dst.Kind())
+			}
+			dst.SetUint(uint64(t))
+		default:
+			return fmt.Errorf("yamlenc: cannot decode %T into %s", v, dst.Kind())
+		}
+		return nil
+	case reflect.Float32, reflect.Float64:
+		switch t := v.(type) {
+		case int64:
+			dst.SetFloat(float64(t))
+		case float64:
+			dst.SetFloat(t)
+		default:
+			return fmt.Errorf("yamlenc: cannot decode %T into %s", v, dst.Kind())
+		}
+		return nil
+	case reflect.Interface:
+		dst.Set(reflect.ValueOf(v))
+		return nil
+	}
+	return fmt.Errorf("yamlenc: unsupported decode kind %s", dst.Kind())
+}

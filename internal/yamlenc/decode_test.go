@@ -1,0 +1,196 @@
+package yamlenc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUnmarshalScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want interface{}
+	}{
+		{"42\n", int64(42)},
+		{"-3.5\n", -3.5},
+		{"true\n", true},
+		{"hello\n", "hello"},
+		{"\"true\"\n", "true"},
+		{"null\n", nil},
+	}
+	for _, c := range cases {
+		got, err := Unmarshal([]byte(c.in))
+		if err != nil {
+			t.Fatalf("Unmarshal(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Unmarshal(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnmarshalNestedMapping(t *testing.T) {
+	in := "a: 1\nb:\n  c: x\n  d:\n    e: true\nf: 2\n"
+	got, err := Unmarshal([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]interface{}{
+		"a": int64(1),
+		"b": map[string]interface{}{
+			"c": "x",
+			"d": map[string]interface{}{"e": true},
+		},
+		"f": int64(2),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestUnmarshalSequences(t *testing.T) {
+	in := "- 1\n- two\n- true\n"
+	got, err := Unmarshal([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []interface{}{int64(1), "two", true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v", got)
+	}
+}
+
+func TestUnmarshalListOfMaps(t *testing.T) {
+	in := "deps:\n  - producer: mProject\n    bytes: 100\n  - producer: mDiff\n    bytes: 200\n"
+	got, err := Unmarshal([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(map[string]interface{})
+	deps := m["deps"].([]interface{})
+	if len(deps) != 2 {
+		t.Fatalf("deps = %#v", deps)
+	}
+	first := deps[0].(map[string]interface{})
+	if first["producer"] != "mProject" || first["bytes"] != int64(100) {
+		t.Errorf("first = %#v", first)
+	}
+}
+
+func TestUnmarshalEmptyContainers(t *testing.T) {
+	got, err := Unmarshal([]byte("a: {}\nb: []\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(map[string]interface{})
+	if len(m["a"].(map[string]interface{})) != 0 || len(m["b"].([]interface{})) != 0 {
+		t.Errorf("got %#v", m)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	for _, in := range []string{
+		" a: 1\n",       // odd indent
+		"a: 1\n   b: 2", // odd indent
+	} {
+		if _, err := Unmarshal([]byte(in)); err == nil {
+			t.Errorf("Unmarshal(%q) accepted", in)
+		}
+	}
+}
+
+type decTarget struct {
+	Nodes    int
+	PFSDir   string `yaml:"pfs_dir"`
+	JobTime  time.Duration
+	Ratio    float64
+	Enabled  bool
+	Deps     []decDep
+	ByName   map[string]int
+	Nested   decNested
+	Ignored  string `yaml:"-"`
+	internal int
+}
+
+type decDep struct {
+	Producer string
+	Bytes    int64
+}
+
+type decNested struct {
+	Value uint32
+}
+
+func TestDecodeIntoStruct(t *testing.T) {
+	src := decTarget{
+		Nodes: 32, PFSDir: "/p/gpfs1", JobTime: 2 * time.Hour,
+		Ratio: 0.75, Enabled: true,
+		Deps:   []decDep{{"mProject", 100}, {"mDiff", 200}},
+		ByName: map[string]int{"a": 1, "b": 2},
+		Nested: decNested{Value: 9},
+	}
+	_ = src.internal
+	data := Marshal(src)
+	var got decTarget
+	if err := Decode(data, &got); err != nil {
+		t.Fatalf("Decode: %v\nyaml:\n%s", err, data)
+	}
+	if !reflect.DeepEqual(got, src) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, src)
+	}
+}
+
+func TestDecodeRejectsBadTargets(t *testing.T) {
+	if err := Decode([]byte("a: 1\n"), nil); err == nil {
+		t.Error("nil target accepted")
+	}
+	var v decTarget
+	if err := Decode([]byte("nodes: notanumber\n"), &v); err == nil {
+		t.Error("string into int accepted")
+	}
+	if err := Decode([]byte("job_time: 5 parsecs\n"), &v); err == nil {
+		t.Error("bad duration accepted")
+	}
+}
+
+func TestDecodeMissingFieldsLeaveZero(t *testing.T) {
+	var v decTarget
+	if err := Decode([]byte("nodes: 7\n"), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Nodes != 7 || v.PFSDir != "" || v.JobTime != 0 {
+		t.Errorf("got %+v", v)
+	}
+}
+
+// Property: Marshal -> Decode is the identity for randomized instances of
+// the characterization-like struct shape.
+func TestMarshalDecodeRoundTripProperty(t *testing.T) {
+	f := func(nodes int32, dir string, secs uint32, ratio float64, on bool, prods []int64) bool {
+		if len(dir) > 64 {
+			dir = dir[:64]
+		}
+		src := decTarget{
+			Nodes: int(nodes), PFSDir: dir,
+			JobTime: time.Duration(secs) * time.Second,
+			Ratio:   ratio, Enabled: on,
+		}
+		for i, p := range prods {
+			if i >= 5 {
+				break
+			}
+			src.Deps = append(src.Deps, decDep{Producer: "app", Bytes: p})
+		}
+		data := Marshal(src)
+		var got decTarget
+		if err := Decode(data, &got); err != nil {
+			t.Logf("decode error on:\n%s", data)
+			return false
+		}
+		return reflect.DeepEqual(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

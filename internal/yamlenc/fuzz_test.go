@@ -1,0 +1,26 @@
+package yamlenc
+
+import "testing"
+
+// FuzzUnmarshal hardens the YAML-subset parser: arbitrary text must parse
+// or error, never panic; and whatever parses must re-encode and re-parse
+// to the same tree shape (no crash on the second pass).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add("a: 1\nb:\n  c: x\n")
+	f.Add("- 1\n- two\n")
+	f.Add("deps:\n  - producer: p\n    bytes: 9\n")
+	f.Add("\"quoted key\": \"va:lue\"\n")
+	f.Add("a: {}\nb: []\n")
+	f.Add(": :\n")
+	f.Add("-\n  - -\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		v, err := Unmarshal([]byte(in))
+		if err != nil {
+			return
+		}
+		out := Marshal(v)
+		if _, err := Unmarshal(out); err != nil {
+			t.Fatalf("re-parse of re-encoded tree failed: %v\ninput: %q\nreencoded: %q", err, in, out)
+		}
+	})
+}

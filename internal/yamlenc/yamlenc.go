@@ -1,0 +1,295 @@
+// Package yamlenc is a minimal YAML emitter for the characterization
+// output. The paper's Analyzer "generates a YAML file of entities and
+// attributes with workload-specific values" that storage systems load;
+// this package produces that artifact using only the standard library.
+//
+// It supports the subset of YAML the characterization needs: nested
+// structs, maps with string keys, slices, and scalars. Struct fields may
+// carry a `yaml:"name"` tag; untagged fields use the lower-snake-case of
+// the Go name. Fields tagged `yaml:"-"` are skipped.
+package yamlenc
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Marshal renders v as a YAML document.
+func Marshal(v interface{}) []byte {
+	var b strings.Builder
+	enc := encoder{b: &b}
+	enc.value(reflect.ValueOf(v), 0, false)
+	return []byte(b.String())
+}
+
+type encoder struct {
+	b *strings.Builder
+}
+
+func (e *encoder) indent(n int) {
+	for i := 0; i < n; i++ {
+		e.b.WriteString("  ")
+	}
+}
+
+// value emits v at the given indentation. inline is true when the value
+// follows "key:" on the same line (scalars) or must start a block.
+func (e *encoder) value(v reflect.Value, depth int, inline bool) {
+	if !v.IsValid() {
+		e.b.WriteString("null\n")
+		return
+	}
+	for v.Kind() == reflect.Ptr || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			e.b.WriteString("null\n")
+			return
+		}
+		v = v.Elem()
+	}
+	// time.Duration prints as its string form.
+	if v.Type() == reflect.TypeOf(time.Duration(0)) {
+		fmt.Fprintf(e.b, "%s\n", time.Duration(v.Int()))
+		return
+	}
+	switch v.Kind() {
+	case reflect.Struct:
+		e.structVal(v, depth, inline)
+	case reflect.Map:
+		e.mapVal(v, depth, inline)
+	case reflect.Slice, reflect.Array:
+		e.sliceVal(v, depth, inline)
+	case reflect.String:
+		e.b.WriteString(quote(v.String()))
+		e.b.WriteByte('\n')
+	case reflect.Bool:
+		fmt.Fprintf(e.b, "%v\n", v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(e.b, "%d\n", v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fmt.Fprintf(e.b, "%d\n", v.Uint())
+	case reflect.Float32, reflect.Float64:
+		fmt.Fprintf(e.b, "%g\n", v.Float())
+	default:
+		fmt.Fprintf(e.b, "%q\n", fmt.Sprint(v.Interface()))
+	}
+}
+
+func (e *encoder) structVal(v reflect.Value, depth int, inline bool) {
+	t := v.Type()
+	type field struct {
+		name string
+		val  reflect.Value
+	}
+	var fields []field
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" { // unexported
+			continue
+		}
+		name := f.Tag.Get("yaml")
+		if name == "-" {
+			continue
+		}
+		if name == "" {
+			name = snake(f.Name)
+		}
+		fields = append(fields, field{name, v.Field(i)})
+	}
+	if len(fields) == 0 {
+		e.b.WriteString("{}\n")
+		return
+	}
+	if inline {
+		e.b.WriteByte('\n')
+	}
+	for _, f := range fields {
+		e.indent(depth)
+		e.b.WriteString(f.name)
+		e.b.WriteString(":")
+		e.keyed(f.val, depth)
+	}
+}
+
+func (e *encoder) mapVal(v reflect.Value, depth int, inline bool) {
+	if v.Len() == 0 {
+		e.b.WriteString("{}\n")
+		return
+	}
+	if inline {
+		e.b.WriteByte('\n')
+	}
+	keys := make([]string, 0, v.Len())
+	byKey := map[string]reflect.Value{}
+	for _, k := range v.MapKeys() {
+		ks := fmt.Sprint(k.Interface())
+		keys = append(keys, ks)
+		byKey[ks] = v.MapIndex(k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.indent(depth)
+		e.b.WriteString(quote(k))
+		e.b.WriteString(":")
+		e.keyed(byKey[k], depth)
+	}
+}
+
+// keyed emits the value after a "key:" prefix already written.
+func (e *encoder) keyed(v reflect.Value, depth int) {
+	if isScalar(v) || isEmptyContainer(v) {
+		e.b.WriteByte(' ')
+		e.value(v, depth, false)
+		return
+	}
+	e.value(v, depth+1, true)
+}
+
+// isEmptyContainer reports whether v renders as "{}" or "[]".
+func isEmptyContainer(v reflect.Value) bool {
+	for v.Kind() == reflect.Ptr || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			return false
+		}
+		v = v.Elem()
+	}
+	switch v.Kind() {
+	case reflect.Map, reflect.Slice, reflect.Array:
+		return v.Len() == 0
+	case reflect.Struct:
+		if v.Type() == reflect.TypeOf(time.Duration(0)) {
+			return false
+		}
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath == "" && f.Tag.Get("yaml") != "-" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (e *encoder) sliceVal(v reflect.Value, depth int, inline bool) {
+	if v.Len() == 0 {
+		e.b.WriteString("[]\n")
+		return
+	}
+	if inline {
+		e.b.WriteByte('\n')
+	}
+	for i := 0; i < v.Len(); i++ {
+		e.indent(depth)
+		e.b.WriteString("-")
+		el := v.Index(i)
+		switch {
+		case isScalar(el) || isEmptyContainer(el):
+			e.b.WriteByte(' ')
+			e.value(el, depth, false)
+		case elemKind(el) == reflect.Slice || elemKind(el) == reflect.Array:
+			// Nested sequences go on their own lines: "- - x" is ambiguous.
+			e.b.WriteByte('\n')
+			e.value(el, depth+1, false)
+		default:
+			e.b.WriteByte(' ')
+			// Block elements start on the same line for compactness:
+			// "- name: x" style.
+			e.inlineBlock(el, depth+1)
+		}
+	}
+}
+
+// elemKind resolves pointers/interfaces to the underlying kind.
+func elemKind(v reflect.Value) reflect.Kind {
+	for v.Kind() == reflect.Ptr || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			return reflect.Invalid
+		}
+		v = v.Elem()
+	}
+	return v.Kind()
+}
+
+// inlineBlock emits a struct/map with its first key on the current line.
+func (e *encoder) inlineBlock(v reflect.Value, depth int) {
+	var b strings.Builder
+	sub := encoder{b: &b}
+	sub.value(v, depth, false)
+	out := b.String()
+	// Strip the indentation of the first line only.
+	trimmed := strings.TrimLeft(out, " ")
+	e.b.WriteString(trimmed)
+}
+
+func isScalar(v reflect.Value) bool {
+	for v.Kind() == reflect.Ptr || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			return true
+		}
+		v = v.Elem()
+	}
+	if v.Type() == reflect.TypeOf(time.Duration(0)) {
+		return true
+	}
+	switch v.Kind() {
+	case reflect.Struct, reflect.Map, reflect.Slice, reflect.Array:
+		return false
+	}
+	return true
+}
+
+// quote wraps strings that need quoting in YAML.
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	plain := true
+	for _, r := range s {
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) ||
+			strings.ContainsRune("-_./()%><=+ ", r)) {
+			plain = false
+			break
+		}
+	}
+	switch s {
+	case "true", "false", "null", "yes", "no", "on", "off", "{}", "[]":
+		plain = false
+	}
+	// Numeric-looking strings must be quoted or they would decode as
+	// numbers.
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		plain = false
+	}
+	if strings.HasPrefix(s, "- ") {
+		plain = false
+	}
+	if plain && !strings.HasPrefix(s, " ") && !strings.HasSuffix(s, " ") {
+		return s
+	}
+	return fmt.Sprintf("%q", s)
+}
+
+// snake converts CamelCase to lower_snake_case ("IOBytes" -> "io_bytes").
+func snake(s string) string {
+	var out []rune
+	runes := []rune(s)
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			prevLower := i > 0 && unicode.IsLower(runes[i-1])
+			nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+			if i > 0 && (prevLower || nextLower) {
+				out = append(out, '_')
+			}
+			out = append(out, unicode.ToLower(r))
+		} else {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

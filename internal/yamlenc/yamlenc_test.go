@@ -1,0 +1,156 @@
+package yamlenc
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScalars(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want string
+	}{
+		{42, "42\n"},
+		{int64(-7), "-7\n"},
+		{uint8(3), "3\n"},
+		{3.5, "3.5\n"},
+		{true, "true\n"},
+		{"hello", "hello\n"},
+		{"", "\"\"\n"},
+		{"true", "\"true\"\n"}, // must quote YAML keywords
+		{"a: b", "\"a: b\"\n"},
+		{5 * time.Second, "5s\n"},
+		{nil, "null\n"},
+	}
+	for _, c := range cases {
+		if got := string(Marshal(c.in)); got != c.want {
+			t.Errorf("Marshal(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStructFieldsSnakeCased(t *testing.T) {
+	type inner struct {
+		IOBytes int64
+		Name    string
+	}
+	type outer struct {
+		Nodes    int
+		PFSDir   string `yaml:"pfs_dir"`
+		Skip     string `yaml:"-"`
+		JobTime  time.Duration
+		Sub      inner
+		unexport int
+	}
+	_ = outer{}.unexport
+	got := string(Marshal(outer{
+		Nodes: 32, PFSDir: "/p/gpfs1", Skip: "x",
+		JobTime: 2 * time.Hour,
+		Sub:     inner{IOBytes: 100, Name: "cm1"},
+	}))
+	want := `nodes: 32
+pfs_dir: /p/gpfs1
+job_time: 2h0m0s
+sub:
+  io_bytes: 100
+  name: cm1
+`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSliceOfStructs(t *testing.T) {
+	type dep struct {
+		Producer string
+		Bytes    int64
+	}
+	got := string(Marshal([]dep{{"mProject", 100}, {"mDiff", 200}}))
+	want := `- producer: mProject
+  bytes: 100
+- producer: mDiff
+  bytes: 200
+`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestScalarSlice(t *testing.T) {
+	got := string(Marshal([]int{1, 2, 3}))
+	if got != "- 1\n- 2\n- 3\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEmptyContainers(t *testing.T) {
+	if got := string(Marshal([]int{})); got != "[]\n" {
+		t.Errorf("empty slice = %q", got)
+	}
+	if got := string(Marshal(map[string]int{})); got != "{}\n" {
+		t.Errorf("empty map = %q", got)
+	}
+	type empty struct{}
+	if got := string(Marshal(empty{})); got != "{}\n" {
+		t.Errorf("empty struct = %q", got)
+	}
+}
+
+func TestMapSortedKeys(t *testing.T) {
+	got := string(Marshal(map[string]int{"b": 2, "a": 1, "c": 3}))
+	want := "a: 1\nb: 2\nc: 3\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestNilPointer(t *testing.T) {
+	type s struct{ P *int }
+	got := string(Marshal(s{}))
+	if got != "p: null\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedDepth(t *testing.T) {
+	type l3 struct{ V int }
+	type l2 struct{ Inner l3 }
+	type l1 struct{ Mid l2 }
+	got := string(Marshal(l1{l2{l3{9}}}))
+	want := "mid:\n  inner:\n    v: 9\n"
+	if got != want {
+		t.Errorf("got:\n%s", got)
+	}
+}
+
+func TestSnake(t *testing.T) {
+	cases := map[string]string{
+		"Nodes":           "nodes",
+		"IOBytes":         "io_bytes",
+		"CPUCoresPerNode": "cpu_cores_per_node",
+		"PFSDir":          "pfs_dir",
+		"MaxBWPerNode":    "max_bw_per_node",
+		"A":               "a",
+	}
+	for in, want := range cases {
+		if got := snake(in); got != want {
+			t.Errorf("snake(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOutputIsIndentationConsistent(t *testing.T) {
+	type row struct {
+		Name  string
+		Inner map[string]string
+	}
+	out := string(Marshal(map[string]interface{}{
+		"rows": []row{{Name: "x", Inner: map[string]string{"k": "v"}}},
+	}))
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "\t") {
+			t.Errorf("tab indentation in %q", line)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package vani reproduces "Extracting and characterizing I/O behavior of
+// HPC workloads" (Devarajan & Mohror, LLNL, 2022) as a self-contained Go
+// library: a simulated HPC storage stack, Recorder-style multilevel
+// tracing, the six exemplar workloads, the Vani-style entity/attribute
+// characterization, and the attribute-to-configuration advisor with the
+// paper's two optimization case studies.
+//
+// The typical pipeline mirrors the paper's methodology:
+//
+//	w, _ := vani.New("cosmoflow")          // pick a workload
+//	spec := w.DefaultSpec()                // Lassen-like 32-node job
+//	res, _ := vani.Run(w, spec)            // simulate + trace (Recorder)
+//	c := vani.Characterize(res)            // entities & attributes (Vani)
+//	recs := vani.Advise(c)                 // Section IV-D mapping
+//	vani.ApplyRecommendations(recs, &spec) // reconfigure the storage stack
+//	opt, _ := vani.Run(w, spec)            // re-run optimized (Figures 7-8)
+package vani
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vani/internal/advisor"
+	"vani/internal/core"
+	"vani/internal/iface"
+	"vani/internal/replay"
+	"vani/internal/sim"
+	"vani/internal/storage"
+	"vani/internal/trace"
+	"vani/internal/workloads"
+	"vani/internal/yamlenc"
+)
+
+// Re-exported types: the facade's vocabulary is the internal packages'
+// types under stable names.
+type (
+	// Spec configures a workload run (nodes, scale, tracing, storage).
+	Spec = workloads.Spec
+	// Workload is one of the six exemplar generators.
+	Workload = workloads.Workload
+	// Result is a completed simulated run with its trace.
+	Result = workloads.Result
+	// Trace is the Recorder-style multilevel event log.
+	Trace = trace.Trace
+	// Characterization is the full entity/attribute description.
+	Characterization = core.Characterization
+	// Recommendation is one advised storage-configuration change.
+	Recommendation = advisor.Recommendation
+	// StorageConfig holds the storage-stack performance model parameters.
+	StorageConfig = storage.Config
+	// Env is the assembled simulation environment a workload runs in;
+	// custom Workload implementations receive it in Setup and Spawn.
+	Env = workloads.Env
+	// Proc is a simulated process (an MPI rank, a workflow task).
+	Proc = sim.Proc
+	// IOClient is the per-rank interface client (POSIX/STDIO/MPI-IO/HDF5).
+	IOClient = iface.Client
+)
+
+// New constructs a workload by name: "cm1", "hacc", "cosmoflow", "jag",
+// "montage-mpi", or "montage-pegasus".
+func New(name string) (Workload, error) { return workloads.New(name) }
+
+// Workloads lists the available workload names.
+func Workloads() []string { return workloads.Names() }
+
+// Run simulates the workload under spec and returns its trace and runtime.
+func Run(w Workload, spec Spec) (*Result, error) { return workloads.Run(w, spec) }
+
+// Characterize analyzes a run into the paper's entities and attributes.
+func Characterize(res *Result) *Characterization {
+	opt := core.DefaultOptions()
+	cfg := res.Spec.Storage
+	opt.Storage = &cfg
+	return core.Analyze(res.Trace, opt)
+}
+
+// CharacterizeTrace analyzes a standalone trace (e.g. loaded from disk).
+func CharacterizeTrace(tr *Trace, cfg *StorageConfig) *Characterization {
+	opt := core.DefaultOptions()
+	opt.Storage = cfg
+	return core.Analyze(tr, opt)
+}
+
+// Advise maps a characterization to storage-configuration recommendations
+// (Section IV-D).
+func Advise(c *Characterization) []Recommendation { return advisor.Advise(c) }
+
+// ApplyRecommendations rewrites spec according to the recommendations and
+// returns the identifiers applied.
+func ApplyRecommendations(recs []Recommendation, spec *Spec) []string {
+	return advisor.Apply(recs, spec)
+}
+
+// Impact quantifies one recommendation's isolated effect (advisor.Evaluate).
+type Impact = advisor.Impact
+
+// EvaluateRecommendations measures each recommendation independently
+// against the baseline run.
+func EvaluateRecommendations(w Workload, spec Spec, recs []Recommendation) ([]Impact, error) {
+	return advisor.Evaluate(w, spec, recs)
+}
+
+// Delta is one changed attribute between two characterizations.
+type Delta = core.Delta
+
+// CompareCharacterizations diffs two characterizations attribute by
+// attribute (the before/after view of a reconfiguration).
+func CompareCharacterizations(before, after *Characterization) []Delta {
+	return core.Compare(before, after)
+}
+
+// ReplayOptions configures a trace replay (replay.Options).
+type ReplayOptions = replay.Options
+
+// ReplayResult is the outcome of a trace replay (replay.Result).
+type ReplayResult = replay.Result
+
+// Replay re-executes a captured trace against a candidate storage
+// configuration — the what-if half of a self-configuring storage system.
+func Replay(tr *Trace, opt ReplayOptions) (*ReplayResult, error) {
+	return replay.Run(tr, opt)
+}
+
+// TuneCandidate labels one storage configuration for Tune.
+type TuneCandidate = replay.Candidate
+
+// TuneResult is one candidate's replayed outcome.
+type TuneResult = replay.TrialResult
+
+// Tune replays the trace under every candidate configuration and returns
+// the results fastest first.
+func Tune(tr *Trace, candidates []TuneCandidate, opt ReplayOptions) ([]TuneResult, error) {
+	return replay.Tune(tr, candidates, opt)
+}
+
+// ToYAML renders the characterization as the YAML artifact the paper's
+// Analyzer produces for storage systems to load.
+func ToYAML(c *Characterization) []byte { return yamlenc.Marshal(c) }
+
+// FromYAML loads a characterization previously written by ToYAML — the
+// storage-system side of the paper's vision.
+func FromYAML(data []byte) (*Characterization, error) {
+	var c Characterization
+	if err := yamlenc.Decode(data, &c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// WriteTrace encodes a trace to w in the binary log format.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
+
+// ReadTrace decodes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// CaseStudy is the outcome of a baseline-vs-optimized comparison, the
+// experiment design of Figures 7 and 8.
+type CaseStudy struct {
+	Workload         string
+	Nodes            int
+	BaselineRuntime  time.Duration
+	OptimizedRuntime time.Duration
+	BaselineIOTime   time.Duration
+	OptimizedIOTime  time.Duration
+	Recommendations  []Recommendation
+	Applied          []string
+}
+
+// JobSpeedup returns baseline/optimized job runtime.
+func (cs *CaseStudy) JobSpeedup() float64 {
+	if cs.OptimizedRuntime == 0 {
+		return 0
+	}
+	return float64(cs.BaselineRuntime) / float64(cs.OptimizedRuntime)
+}
+
+// IOSpeedup returns baseline/optimized I/O wall-clock, the paper's
+// headline metric ("improve I/O performance up to 4.6x / 8x").
+func (cs *CaseStudy) IOSpeedup() float64 {
+	if cs.OptimizedIOTime == 0 {
+		return 0
+	}
+	return float64(cs.BaselineIOTime) / float64(cs.OptimizedIOTime)
+}
+
+// Optimize runs the full paper loop for one workload: simulate the
+// baseline, characterize it, derive recommendations, apply them, and
+// re-run. This reproduces the Section V case studies.
+func Optimize(w Workload, spec Spec) (*CaseStudy, error) {
+	base, err := Run(w, spec)
+	if err != nil {
+		return nil, fmt.Errorf("baseline run: %w", err)
+	}
+	c := Characterize(base)
+	recs := Advise(c)
+	tuned := spec
+	applied := ApplyRecommendations(recs, &tuned)
+	opt, err := Run(w, tuned)
+	if err != nil {
+		return nil, fmt.Errorf("optimized run: %w", err)
+	}
+	co := Characterize(opt)
+	return &CaseStudy{
+		Workload:         w.Name(),
+		Nodes:            spec.Nodes,
+		BaselineRuntime:  base.Runtime,
+		OptimizedRuntime: opt.Runtime,
+		BaselineIOTime:   c.Workflow.IOTime,
+		OptimizedIOTime:  co.Workflow.IOTime,
+		Recommendations:  recs,
+		Applied:          applied,
+	}, nil
+}
+
+// ProbeSharedBW measures the shared storage's achievable aggregate
+// bandwidth with an IOR-like benchmark: one writer rank per node streaming
+// large sequential transfers to file-per-process files, caches off. This
+// is the "64GB/s using 32 node IOR" measurement of Table IX.
+func ProbeSharedBW(cfg StorageConfig, nodes int) float64 {
+	cfg.CacheEnabled = false
+	cfg.JitterFrac = 0
+	e := sim.NewEngine()
+	sys := storage.New(e, cfg, nodes, sim.NewRNG(1))
+	const perNode = 4 * storage.GiB
+	const chunk = 16 * storage.MiB
+	for n := 0; n < nodes; n++ {
+		n := n
+		e.Spawn("ior", func(p *sim.Proc) {
+			path := fmt.Sprintf("%s/ior/out.%04d", cfg.PFSDir, n)
+			if err := sys.Open(p, n, path, true); err != nil {
+				panic(err)
+			}
+			for off := int64(0); off < perNode; off += chunk {
+				if err := sys.Write(p, n, path, off, chunk); err != nil {
+					panic(err)
+				}
+			}
+			sys.Close(p, n, path)
+		})
+	}
+	elapsed := e.Run()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(perNode*int64(nodes)) / elapsed.Seconds()
+}
+
+// ProbeNodeLocalBW measures one node's node-local storage bandwidth with
+// sequential large writes (Table VIII's "Max I/O bw/node").
+func ProbeNodeLocalBW(cfg StorageConfig) float64 {
+	e := sim.NewEngine()
+	sys := storage.New(e, cfg, 1, sim.NewRNG(1))
+	const total = 8 * storage.GiB
+	const chunk = 16 * storage.MiB
+	e.Spawn("probe", func(p *sim.Proc) {
+		path := cfg.NodeLocalDir + "/probe"
+		if err := sys.Open(p, 0, path, true); err != nil {
+			panic(err)
+		}
+		for off := int64(0); off < total; off += chunk {
+			if err := sys.Write(p, 0, path, off, chunk); err != nil {
+				panic(err)
+			}
+		}
+		sys.Close(p, 0, path)
+	})
+	elapsed := e.Run()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(total) / elapsed.Seconds()
+}
