@@ -148,7 +148,11 @@ func BenchmarkTable8_NodeLocalStorage(b *testing.B) {
 	cfg := storage.Lassen()
 	var bw float64
 	for i := 0; i < b.N; i++ {
-		bw = ProbeNodeLocalBW(cfg)
+		var err error
+		bw, err = ProbeNodeLocalBW(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(bw/float64(1<<30), "GiB/s")
 }
@@ -159,7 +163,11 @@ func BenchmarkTable9_SharedStorage(b *testing.B) {
 	cfg := storage.Lassen()
 	var bw float64
 	for i := 0; i < b.N; i++ {
-		bw = ProbeSharedBW(cfg, 32)
+		var err error
+		bw, err = ProbeSharedBW(cfg, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(bw/float64(1<<30), "GiB/s")
 }
@@ -400,12 +408,24 @@ func BenchmarkAblation_ColumnarAnalysis(b *testing.B) {
 	b.Run("columnar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			var sum int64
-			for j := 0; j < tb.N; j++ {
-				if trace.Op(tb.Op[j]) == trace.OpRead {
-					sum += tb.Size[j]
+			tb.ForEachChunk(func(c *colstore.Chunk) {
+				for j := 0; j < c.N; j++ {
+					if trace.Op(c.Op[j]) == trace.OpRead {
+						sum += c.Size[j]
+					}
 				}
-			}
+			})
 			if sum == 0 {
+				b.Fatal("no reads")
+			}
+		}
+	})
+	b.Run("columnar-fused", func(b *testing.B) {
+		isRead := func(i int) bool { return trace.Op(tb.Op(i)) == trace.OpRead }
+		for i := 0; i < b.N; i++ {
+			agg := &colstore.Agg{Pred: isRead}
+			tb.Scan(1, agg)
+			if agg.Bytes == 0 {
 				b.Fatal("no reads")
 			}
 		}
@@ -485,6 +505,60 @@ func BenchmarkAnalyzer(b *testing.B) {
 		if c.Workflow.IOBytes == 0 {
 			b.Fatal("empty analysis")
 		}
+	}
+}
+
+// BenchmarkAnalyzerParallelism compares the fused chunk-parallel analysis
+// at Parallelism=1 (sequential baseline) against GOMAXPROCS workers on a
+// pre-built columnar table. The outputs are bit-identical; only the wall
+// clock differs (and only when GOMAXPROCS > 1).
+func BenchmarkAnalyzerParallelism(b *testing.B) {
+	_, _ = allRuns(b)
+	res := runRes["montage-mpi"]
+	cfg := res.Spec.Storage
+	tb := colstore.FromTrace(res.Trace)
+	for _, bench := range []struct {
+		name string
+		par  int
+	}{
+		{"seq", 1},
+		{"par", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Storage = &cfg
+			opt.Parallelism = bench.par
+			b.ReportMetric(float64(tb.Len()), "rows")
+			for i := 0; i < b.N; i++ {
+				c := core.AnalyzeTable(res.Trace, tb, opt)
+				if c.Workflow.IOBytes == 0 {
+					b.Fatal("empty analysis")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColumnarize measures the row-to-chunk transposition stage at
+// both parallelism settings.
+func BenchmarkColumnarize(b *testing.B) {
+	_, _ = allRuns(b)
+	tr := runRes["montage-mpi"].Trace
+	for _, bench := range []struct {
+		name string
+		par  int
+	}{
+		{"seq", 1},
+		{"par", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportMetric(float64(len(tr.Events)), "events")
+			for i := 0; i < b.N; i++ {
+				if tb := colstore.FromEvents(tr.Events, bench.par); tb.Len() == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
 	}
 }
 

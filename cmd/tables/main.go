@@ -47,6 +47,8 @@ func main() {
 	only := flag.String("workload", "", "run a single workload instead of all six")
 	figures := flag.Bool("figures", false, "also render the per-workload figure panels")
 	overhead := flag.Duration("trace-overhead", 0, "per-event tracer overhead (e.g. 2us)")
+	par := flag.Int("par", 0, "analyzer parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	verbose := flag.Bool("v", false, "print per-stage pipeline timings")
 	flag.Parse()
 
 	names := vani.Workloads()
@@ -73,16 +75,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		c := vani.Characterize(res)
+		opt := vani.DefaultAnalyzerOptions()
+		opt.Parallelism = *par
+		var timings vani.AnalyzerTimings
+		opt.Stats = &timings
+		c := vani.CharacterizeWith(res, opt)
 		fmt.Fprintf(os.Stderr, "ran %-16s scale=%-5.3g events=%-8d virtual=%-10s wall=%s\n",
 			name, spec.Scale, len(res.Trace.Events),
 			res.Runtime.Round(time.Second), time.Since(start).Round(time.Millisecond))
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "    stages: trace-merge=%s columnarize=%s analyze=%s\n",
+				timings.TraceMerge, timings.Columnarize, timings.Analyze)
+		}
 		cols = append(cols, report.Named{Name: display(name), C: c})
 		if *figures {
 			fmt.Println(report.Figure(c))
 		}
 	}
-	probe := vani.ProbeSharedBW(defaultStorage(), 32)
+	probe, err := vani.ProbeSharedBW(defaultStorage(), 32)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shared-bw probe: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Println(report.AllTables(cols, probe))
 }
 

@@ -25,25 +25,31 @@ func main() {
 	advise := flag.Bool("advise", false, "print storage recommendations")
 	phases := flag.Bool("phases", false, "render the full I/O phase series")
 	yamlOut := flag.String("yaml", "", "write the characterization as YAML to this file")
+	par := flag.Int("par", 0, "analyzer parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	verbose := flag.Bool("v", false, "print per-stage pipeline timings")
 	flag.Parse()
 
 	if *traceFile == "" {
 		fmt.Fprintln(os.Stderr, "usage: vani -t <trace> [-tables] [-figure] [-advise] [-yaml out.yaml]")
 		os.Exit(2)
 	}
-	f, err := os.Open(*traceFile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	tr, err := vani.ReadTrace(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	// Stream the trace from disk into column chunks: the event log never
+	// materializes in memory, so arbitrarily large traces analyze fine.
 	cfg := workloads.DefaultSpec().Storage
-	c := vani.CharacterizeTrace(tr, &cfg)
+	opt := vani.DefaultAnalyzerOptions()
+	opt.Storage = &cfg
+	opt.Parallelism = *par
+	var timings vani.AnalyzerTimings
+	opt.Stats = &timings
+	c, err := vani.CharacterizeFileWith(*traceFile, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "stages: columnarize=%s analyze=%s\n",
+			timings.Columnarize, timings.Analyze)
+	}
 
 	if *tables {
 		cols := []report.Named{{Name: c.Workload, C: c}}

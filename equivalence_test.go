@@ -1,0 +1,144 @@
+package vani
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// equivSpec builds a small-but-nontrivial spec for equivalence runs: large
+// enough to cross chunk boundaries in the busier workloads, small enough
+// to keep the 6-workload × seeds × parallelism sweep fast.
+func equivSpec(w Workload, seed int64) Spec {
+	spec := w.DefaultSpec()
+	spec.Nodes = 4
+	spec.RanksPerNode = 4
+	spec.Scale = 0.02
+	spec.Seed = seed
+	return spec
+}
+
+// characterizeYAML runs the analyzer at the given parallelism and renders
+// the characterization as its YAML artifact — the byte stream equivalence
+// is asserted over.
+func characterizeYAML(t *testing.T, res *Result, par int) []byte {
+	t.Helper()
+	opt := DefaultAnalyzerOptions()
+	opt.Parallelism = par
+	return ToYAML(CharacterizeWith(res, opt))
+}
+
+// TestParallelismEquivalence is the tentpole's contract: for every
+// workload and multiple seeds, the characterization YAML is byte-identical
+// between the sequential path (Parallelism=1) and parallel worker pools.
+func TestParallelismEquivalence(t *testing.T) {
+	for _, name := range Workloads() {
+		for _, seed := range []int64{1, 2} {
+			w, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(w, equivSpec(w, seed))
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", name, seed, err)
+			}
+			want := characterizeYAML(t, res, 1)
+			for _, par := range []int{0, 2, 4, 8} {
+				got := characterizeYAML(t, res, par)
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s seed=%d: YAML differs between Parallelism=1 and Parallelism=%d",
+						name, seed, par)
+				}
+			}
+		}
+	}
+}
+
+// TestCharacterizeFileMatchesInMemory: streaming a written trace off disk
+// through CharacterizeFile (scanner → column chunks, no []Event) must
+// produce a byte-identical characterization to the in-memory path.
+func TestCharacterizeFileMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"hacc", "montage-pegasus"} {
+		w, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w, equivSpec(w, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".trc")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTrace(f, res.Trace); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		cfg := res.Spec.Storage
+		want := ToYAML(Characterize(res))
+		for _, par := range []int{1, 4} {
+			opt := DefaultAnalyzerOptions()
+			opt.Storage = &cfg
+			opt.Parallelism = par
+			var timings AnalyzerTimings
+			opt.Stats = &timings
+			c, err := CharacterizeFileWith(path, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got := ToYAML(c); !bytes.Equal(want, got) {
+				t.Errorf("%s: streamed characterization differs from in-memory (par=%d)", name, par)
+			}
+		}
+	}
+}
+
+// TestCharacterizeFileErrors: missing and corrupt trace files surface as
+// errors, not panics.
+func TestCharacterizeFileErrors(t *testing.T) {
+	if _, err := CharacterizeFile(filepath.Join(t.TempDir(), "nope.trc"), nil); err == nil {
+		t.Error("missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.trc")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CharacterizeFile(bad, nil); err == nil {
+		t.Error("corrupt file did not error")
+	}
+}
+
+// TestStageTimingsPopulated: the verbose pipeline exposes non-trivial
+// per-stage timings through AnalyzerOptions.Stats.
+func TestStageTimingsPopulated(t *testing.T) {
+	w, err := New("hacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, equivSpec(w, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultAnalyzerOptions()
+	var timings AnalyzerTimings
+	opt.Stats = &timings
+	if c := CharacterizeWith(res, opt); c == nil {
+		t.Fatal("nil characterization")
+	}
+	if timings.TraceMerge <= 0 {
+		t.Error("TraceMerge timing not recorded")
+	}
+	if timings.Columnarize <= 0 {
+		t.Error("Columnarize timing not recorded")
+	}
+	if timings.Analyze <= 0 {
+		t.Error("Analyze timing not recorded")
+	}
+}

@@ -35,10 +35,17 @@ func main() {
 	fmt.Println("storage probes (32-node IOR-style):")
 	fmt.Printf("  %-8s %-14s %-16s %-18s\n", "system", "PFS (32 nodes)", "node-local/node", "shared BB")
 	for _, s := range systems {
-		pfs := vani.ProbeSharedBW(s.storage, 32)
+		pfs, err := vani.ProbeSharedBW(s.storage, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
 		nl := "-"
 		if s.machine.NodeLocalDir != "" {
-			nl = gbps(vani.ProbeNodeLocalBW(s.storage))
+			nlBW, err := vani.ProbeNodeLocalBW(s.storage)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nl = gbps(nlBW)
 		}
 		bb := "-"
 		if s.machine.SharedBBDir != "" {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vani/internal/colstore"
+	"vani/internal/parallel"
 	"vani/internal/stats"
 	"vani/internal/storage"
 	"vani/internal/trace"
@@ -22,6 +23,24 @@ type Options struct {
 	Storage *storage.Config
 	// TopFlows limits the dependency panel to the N highest-volume files.
 	TopFlows int
+	// Parallelism bounds the workers used for the chunk-parallel scans
+	// (<= 0 means GOMAXPROCS, 1 runs fully sequential). Every scan reduces
+	// its per-chunk partials in chunk order and accumulates in integers, so
+	// the characterization is bit-identical at any setting.
+	Parallelism int
+	// Stats, when non-nil, receives per-stage wall-clock timings.
+	Stats *Timings
+}
+
+// Timings records the wall-clock cost of each pipeline stage.
+type Timings struct {
+	// TraceMerge is the tracer's shard-merge time (filled by callers that
+	// hold the tracer; the analyzer itself never sees it).
+	TraceMerge time.Duration
+	// Columnarize is the row-to-column transposition time.
+	Columnarize time.Duration
+	// Analyze is the fused characterization time.
+	Analyze time.Duration
 }
 
 // DefaultOptions returns the analyzer settings used for the paper tables.
@@ -33,8 +52,7 @@ func DefaultOptions() Options {
 	}
 }
 
-// Analyze builds the full characterization from a trace.
-func Analyze(tr *trace.Trace, opt Options) *Characterization {
+func (opt *Options) fill() {
 	if opt.PhaseGap <= 0 {
 		opt.PhaseGap = time.Second
 	}
@@ -44,19 +62,56 @@ func Analyze(tr *trace.Trace, opt Options) *Characterization {
 	if opt.TopFlows <= 0 {
 		opt.TopFlows = 8
 	}
-	a := &analysis{tr: tr, tb: colstore.FromTrace(tr), opt: opt}
-	return a.run()
+}
+
+// Analyze builds the full characterization from an in-memory trace.
+func Analyze(tr *trace.Trace, opt Options) *Characterization {
+	opt.fill()
+	t0 := time.Now()
+	tb := colstore.FromEvents(tr.Events, opt.Parallelism)
+	if opt.Stats != nil {
+		opt.Stats.Columnarize = time.Since(t0)
+	}
+	return AnalyzeTable(tr, tb, opt)
+}
+
+// AnalyzeTable builds the characterization from a columnar table plus the
+// trace header carrying its metadata and interning tables (hdr.Events is
+// never touched, so traces streamed off disk need not materialize one).
+func AnalyzeTable(hdr *trace.Trace, tb *colstore.Table, opt Options) *Characterization {
+	opt.fill()
+	t0 := time.Now()
+	a := &analysis{tr: hdr, tb: tb, opt: opt, par: opt.Parallelism}
+	c := a.run()
+	if opt.Stats != nil {
+		opt.Stats.Analyze = time.Since(t0)
+	}
+	return c
 }
 
 type analysis struct {
-	tr  *trace.Trace
+	tr  *trace.Trace // header only: Meta, Apps, Files, Samples
 	tb  *colstore.Table
 	opt Options
+	par int
 
-	runtime time.Duration
-	primary []int // row indices at each app's primary (app-facing) level
-
-	fileAgg map[int32]*fileAgg
+	// Filled by the fused scan.
+	runtime    time.Duration
+	gpuUsed    bool
+	appRanks   map[int32]int // ranks that emitted any event, per app
+	primary    []int         // rows at each (app, file) stream's primary level
+	posix      []int         // POSIX-level I/O rows
+	byApp      map[int32][]int
+	fileAgg    map[int32]*fileAgg
+	readBytes  int64
+	writeBytes int64
+	primData   int64
+	primMeta   int64
+	readHist   stats.SizeHistogram
+	writeHist  stats.SizeHistogram
+	readTL     *stats.Timeline
+	writeTL    *stats.Timeline
+	perRank    map[int32]*rankAcc
 }
 
 type fileAgg struct {
@@ -76,10 +131,48 @@ type fileAgg struct {
 	ioDur        time.Duration
 }
 
+func newFileAgg(id int32) *fileAgg {
+	return &fileAgg{
+		id:          id,
+		ranks:       map[int32]bool{},
+		writerRanks: map[int32]bool{},
+		readerRanks: map[int32]bool{},
+		writerNodes: map[int32]bool{},
+		readerNodes: map[int32]bool{},
+		writerApps:  map[int32]bool{},
+		readerApps:  map[int32]bool{},
+	}
+}
+
+func mergeSet(dst, src map[int32]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+func (fa *fileAgg) merge(o *fileAgg) {
+	mergeSet(fa.ranks, o.ranks)
+	mergeSet(fa.writerRanks, o.writerRanks)
+	mergeSet(fa.readerRanks, o.readerRanks)
+	mergeSet(fa.writerNodes, o.writerNodes)
+	mergeSet(fa.readerNodes, o.readerNodes)
+	mergeSet(fa.writerApps, o.writerApps)
+	mergeSet(fa.readerApps, o.readerApps)
+	fa.bytesRead += o.bytesRead
+	fa.bytesWritten += o.bytesWritten
+	fa.opens += o.opens
+	fa.dataOps += o.dataOps
+	fa.metaOps += o.metaOps
+	fa.ioDur += o.ioDur
+}
+
+type rankAcc struct {
+	rBytes, wBytes int64
+	rDur, wDur     int64
+}
+
 func (a *analysis) run() *Characterization {
-	a.runtime = a.tr.JobRuntime()
-	a.primary = a.primaryRows()
-	a.fileAgg = a.aggregateFiles()
+	a.fusedScan()
 
 	c := &Characterization{Workload: a.tr.Meta.Workload}
 	c.JobConfig = a.jobConfig()
@@ -100,88 +193,235 @@ type appFile struct {
 	file int32
 }
 
-// primaryLevels returns, per (application, file) stream, the app-facing
-// level: the highest abstraction through which that application touched
-// that file. Counting at this level avoids double-counting the same
-// logical operation across layers, while keeping POSIX-only traffic of an
-// otherwise-buffered application (e.g. mViewer reading mosaics directly)
-// visible.
-func (a *analysis) primaryLevels() map[appFile]uint8 {
-	lv := make(map[appFile]uint8)
-	for i := 0; i < a.tb.N; i++ {
-		if !a.tb.IsIO(i) {
-			continue
-		}
-		k := appFile{a.tb.App[i], a.tb.File[i]}
-		cur, ok := lv[k]
-		if !ok || a.tb.Level[i] < cur {
-			lv[k] = a.tb.Level[i]
-		}
-	}
-	return lv
+// pass1 is the per-chunk partial of the level-resolution scan: the
+// app-facing level per (application, file) stream — the highest abstraction
+// through which that application touched that file, so counting there
+// avoids double-counting one logical operation across layers while keeping
+// POSIX-only side traffic visible — plus the global facts (job runtime,
+// GPU usage, per-app rank sets) the old analyzer gathered with separate
+// whole-table walks.
+type pass1 struct {
+	levels   map[appFile]uint8
+	maxEnd   int64
+	gpu      bool
+	appRanks map[int32]map[int32]bool
 }
 
-// primaryRows returns the rows at each (app, file) stream's primary level.
-func (a *analysis) primaryRows() []int {
-	levels := a.primaryLevels()
-	var idx []int
-	for i := 0; i < a.tb.N; i++ {
-		if a.tb.IsIO(i) && a.tb.Level[i] == levels[appFile{a.tb.App[i], a.tb.File[i]}] {
-			idx = append(idx, i)
-		}
-	}
-	return idx
+// pass2 is the per-chunk partial of the fused characterization scan. Row
+// lists concatenate in chunk order (preserving global row order); every
+// numeric accumulator is an integer sum and every set a union, so the
+// merged result is bit-identical at any parallelism.
+type pass2 struct {
+	primary    []int
+	posix      []int
+	byApp      map[int32][]int
+	files      map[int32]*fileAgg
+	readBytes  int64
+	writeBytes int64
+	data, meta int64
+	readHist   stats.SizeHistogram
+	writeHist  stats.SizeHistogram
+	readTL     *stats.Timeline
+	writeTL    *stats.Timeline
+	perRank    map[int32]*rankAcc
 }
 
-func (a *analysis) aggregateFiles() map[int32]*fileAgg {
-	m := make(map[int32]*fileAgg)
-	get := func(f int32) *fileAgg {
-		fa := m[f]
-		if fa == nil {
-			fa = &fileAgg{
-				id:          f,
-				ranks:       map[int32]bool{},
-				writerRanks: map[int32]bool{},
-				readerRanks: map[int32]bool{},
-				writerNodes: map[int32]bool{},
-				readerNodes: map[int32]bool{},
-				writerApps:  map[int32]bool{},
-				readerApps:  map[int32]bool{},
+// fusedScan replaces the old analyzer's half-dozen independent whole-table
+// predicate walks (primary-level resolution, primary row collection,
+// per-app rank scans, GPU detection, POSIX row collection, file
+// aggregation, histogram/timeline/per-rank accumulation) with two
+// chunk-parallel passes over the columnar store.
+func (a *analysis) fusedScan() {
+	nchunks := a.tb.NumChunks()
+
+	// Pass 1: resolve primary levels and global scan facts.
+	p1 := make([]*pass1, nchunks)
+	parallel.ForEach(a.par, nchunks, func(k int) {
+		c := a.tb.ChunkAt(k)
+		p := &pass1{levels: map[appFile]uint8{}, appRanks: map[int32]map[int32]bool{}}
+		for j := 0; j < c.N; j++ {
+			if c.End[j] > p.maxEnd {
+				p.maxEnd = c.End[j]
 			}
-			m[f] = fa
+			if trace.Op(c.Op[j]) == trace.OpGPUCompute {
+				p.gpu = true
+			}
+			ranks := p.appRanks[c.App[j]]
+			if ranks == nil {
+				ranks = map[int32]bool{}
+				p.appRanks[c.App[j]] = ranks
+			}
+			ranks[c.Rank[j]] = true
+			if !trace.Op(c.Op[j]).IsIO() {
+				continue
+			}
+			key := appFile{c.App[j], c.File[j]}
+			if cur, ok := p.levels[key]; !ok || c.Level[j] < cur {
+				p.levels[key] = c.Level[j]
+			}
 		}
-		return fa
+		p1[k] = p
+	})
+	levels := map[appFile]uint8{}
+	appRankSets := map[int32]map[int32]bool{}
+	var maxEnd int64
+	for _, p := range p1 {
+		if p.maxEnd > maxEnd {
+			maxEnd = p.maxEnd
+		}
+		a.gpuUsed = a.gpuUsed || p.gpu
+		for key, lv := range p.levels {
+			if cur, ok := levels[key]; !ok || lv < cur {
+				levels[key] = lv
+			}
+		}
+		for app, ranks := range p.appRanks {
+			if appRankSets[app] == nil {
+				appRankSets[app] = map[int32]bool{}
+			}
+			mergeSet(appRankSets[app], ranks)
+		}
 	}
-	for _, i := range a.primary {
-		f := a.tb.File[i]
-		if f < 0 {
-			continue
+	a.runtime = time.Duration(maxEnd)
+	a.appRanks = make(map[int32]int, len(appRankSets))
+	for app, ranks := range appRankSets {
+		a.appRanks[app] = len(ranks)
+	}
+
+	// Pass 2: the fused characterization scan at the resolved levels.
+	span := a.runtime
+	if span <= 0 {
+		span = time.Second
+	}
+	bins := a.opt.TimelineBins
+	p2 := make([]*pass2, nchunks)
+	parallel.ForEach(a.par, nchunks, func(k int) {
+		c := a.tb.ChunkAt(k)
+		p := &pass2{
+			byApp:   map[int32][]int{},
+			files:   map[int32]*fileAgg{},
+			readTL:  stats.NewTimeline(span, bins),
+			writeTL: stats.NewTimeline(span, bins),
+			perRank: map[int32]*rankAcc{},
 		}
-		fa := get(f)
-		fa.ranks[a.tb.Rank[i]] = true
-		fa.ioDur += a.tb.Dur(i)
-		switch trace.Op(a.tb.Op[i]) {
-		case trace.OpRead:
-			fa.bytesRead += a.tb.Size[i]
-			fa.readerRanks[a.tb.Rank[i]] = true
-			fa.readerNodes[a.tb.Node[i]] = true
-			fa.readerApps[a.tb.App[i]] = true
-			fa.dataOps++
-		case trace.OpWrite:
-			fa.bytesWritten += a.tb.Size[i]
-			fa.writerRanks[a.tb.Rank[i]] = true
-			fa.writerNodes[a.tb.Node[i]] = true
-			fa.writerApps[a.tb.App[i]] = true
-			fa.dataOps++
-		case trace.OpOpen:
-			fa.opens++
-			fa.metaOps++
-		default:
-			fa.metaOps++
+		for j := 0; j < c.N; j++ {
+			op := trace.Op(c.Op[j])
+			if !op.IsIO() {
+				continue
+			}
+			i := c.Base + j
+			if trace.Level(c.Level[j]) == trace.LevelPosix {
+				p.posix = append(p.posix, i)
+			}
+			if c.Level[j] != levels[appFile{c.App[j], c.File[j]}] {
+				continue
+			}
+			p.primary = append(p.primary, i)
+			p.byApp[c.App[j]] = append(p.byApp[c.App[j]], i)
+			dur := c.End[j] - c.Start[j]
+			if op.IsData() {
+				p.data++
+			} else if op.IsMeta() {
+				p.meta++
+			}
+			var fa *fileAgg
+			if c.File[j] >= 0 {
+				fa = p.files[c.File[j]]
+				if fa == nil {
+					fa = newFileAgg(c.File[j])
+					p.files[c.File[j]] = fa
+				}
+				fa.ranks[c.Rank[j]] = true
+				fa.ioDur += time.Duration(dur)
+			}
+			acc := p.perRank[c.Rank[j]]
+			if acc == nil {
+				acc = &rankAcc{}
+				p.perRank[c.Rank[j]] = acc
+			}
+			switch op {
+			case trace.OpRead:
+				p.readBytes += c.Size[j]
+				p.readHist.Add(c.Size[j], time.Duration(dur))
+				p.readTL.Add(time.Duration(c.Start[j]), time.Duration(c.End[j]), c.Size[j])
+				acc.rBytes += c.Size[j]
+				acc.rDur += dur
+				if fa != nil {
+					fa.bytesRead += c.Size[j]
+					fa.readerRanks[c.Rank[j]] = true
+					fa.readerNodes[c.Node[j]] = true
+					fa.readerApps[c.App[j]] = true
+					fa.dataOps++
+				}
+			case trace.OpWrite:
+				p.writeBytes += c.Size[j]
+				p.writeHist.Add(c.Size[j], time.Duration(dur))
+				p.writeTL.Add(time.Duration(c.Start[j]), time.Duration(c.End[j]), c.Size[j])
+				acc.wBytes += c.Size[j]
+				acc.wDur += dur
+				if fa != nil {
+					fa.bytesWritten += c.Size[j]
+					fa.writerRanks[c.Rank[j]] = true
+					fa.writerNodes[c.Node[j]] = true
+					fa.writerApps[c.App[j]] = true
+					fa.dataOps++
+				}
+			case trace.OpOpen:
+				if fa != nil {
+					fa.opens++
+					fa.metaOps++
+				}
+			default:
+				if fa != nil {
+					fa.metaOps++
+				}
+			}
+		}
+		p2[k] = p
+	})
+
+	a.byApp = map[int32][]int{}
+	a.fileAgg = map[int32]*fileAgg{}
+	a.readTL = stats.NewTimeline(span, bins)
+	a.writeTL = stats.NewTimeline(span, bins)
+	a.perRank = map[int32]*rankAcc{}
+	for _, p := range p2 {
+		a.primary = append(a.primary, p.primary...)
+		a.posix = append(a.posix, p.posix...)
+		for app, rows := range p.byApp {
+			a.byApp[app] = append(a.byApp[app], rows...)
+		}
+		for f, fa := range p.files {
+			if cur := a.fileAgg[f]; cur != nil {
+				cur.merge(fa)
+			} else {
+				a.fileAgg[f] = fa
+			}
+		}
+		a.readBytes += p.readBytes
+		a.writeBytes += p.writeBytes
+		a.primData += p.data
+		a.primMeta += p.meta
+		a.readHist.Merge(&p.readHist)
+		a.writeHist.Merge(&p.writeHist)
+		a.readTL.Merge(p.readTL)
+		a.writeTL.Merge(p.writeTL)
+		for r, acc := range p.perRank {
+			if cur := a.perRank[r]; cur != nil {
+				cur.rBytes += acc.rBytes
+				cur.wBytes += acc.wBytes
+				cur.rDur += acc.rDur
+				cur.wDur += acc.wDur
+			} else {
+				a.perRank[r] = acc
+			}
 		}
 	}
-	return m
 }
+
+// byApp row lists concatenate per-chunk partials whose in-chunk appends are
+// in row order, so each app's rows are globally ascending — the same order
+// the old per-app filtering produced.
 
 func (a *analysis) jobConfig() JobConfigEntity {
 	m := a.tr.Meta
@@ -225,7 +465,7 @@ func (a *analysis) unionDuration(rows []int) time.Duration {
 	type iv struct{ s, e int64 }
 	ivs := make([]iv, 0, len(rows))
 	for _, i := range rows {
-		ivs = append(ivs, iv{a.tb.Start[i], a.tb.End[i]})
+		ivs = append(ivs, iv{a.tb.Start(i), a.tb.End(i)})
 	}
 	sort.Slice(ivs, func(x, y int) bool { return ivs[x].s < ivs[y].s })
 	var total, curS, curE int64
@@ -247,8 +487,8 @@ func (a *analysis) unionDuration(rows []int) time.Duration {
 func (a *analysis) dominantSize(rows []int, op trace.Op) int64 {
 	counts := map[int64]int64{}
 	for _, i := range rows {
-		if trace.Op(a.tb.Op[i]) == op && a.tb.Size[i] > 0 {
-			counts[a.tb.Size[i]]++
+		if trace.Op(a.tb.Op(i)) == op && a.tb.Size(i) > 0 {
+			counts[a.tb.Size(i)]++
 		}
 	}
 	var best int64
@@ -265,19 +505,20 @@ func (a *analysis) dominantSize(rows []int, op trace.Op) int64 {
 }
 
 // interfaceName maps the dominant library of a row set to the table name.
+// Libraries tally into a fixed array walked in ascending enum order, so a
+// count tie deterministically picks the lower-level library.
 func (a *analysis) interfaceName(rows []int) string {
-	counts := map[trace.Lib]int64{}
+	var counts [8]int64
 	for _, i := range rows {
-		counts[trace.Lib(a.tb.Lib[i])]++
-	}
-	var best trace.Lib
-	var bestN int64 = -1
-	for lib, n := range counts {
-		if lib == trace.LibNone {
-			continue
+		if lib := a.tb.Lib(i); int(lib) < len(counts) {
+			counts[lib]++
 		}
-		if n > bestN {
-			best, bestN = lib, n
+	}
+	best := trace.LibNone
+	var bestN int64 = -1
+	for lib := int(trace.LibNone) + 1; lib < len(counts); lib++ {
+		if counts[lib] > bestN {
+			best, bestN = trace.Lib(lib), counts[lib]
 		}
 	}
 	if bestN <= 0 {
@@ -299,17 +540,17 @@ func (a *analysis) accessPattern(rows []int) string {
 	last := map[key]int64{}
 	var seq, total int64
 	for _, i := range rows {
-		if !a.tb.IsData(i) || a.tb.File[i] < 0 {
+		if !a.tb.IsData(i) || a.tb.File(i) < 0 {
 			continue
 		}
-		k := key{a.tb.File[i], a.tb.Rank[i]}
+		k := key{a.tb.File(i), a.tb.Rank(i)}
 		if prev, ok := last[k]; ok {
 			total++
-			if a.tb.Offset[i] >= prev {
+			if a.tb.Offset(i) >= prev {
 				seq++
 			}
 		}
-		last[k] = a.tb.Offset[i]
+		last[k] = a.tb.Offset(i)
 	}
 	if total == 0 || float64(seq)/float64(total) >= 0.8 {
 		return "Seq"
@@ -318,20 +559,15 @@ func (a *analysis) accessPattern(rows []int) string {
 }
 
 func (a *analysis) apps() []AppEntity {
-	byApp := map[int32][]int{}
-	var order []int32
-	for _, i := range a.primary {
-		app := a.tb.App[i]
-		if _, ok := byApp[app]; !ok {
-			order = append(order, app)
-		}
-		byApp[app] = append(byApp[app], i)
+	order := make([]int32, 0, len(a.byApp))
+	for app := range a.byApp {
+		order = append(order, app)
 	}
 	sort.Slice(order, func(x, y int) bool { return order[x] < order[y] })
 
 	var out []AppEntity
 	for _, app := range order {
-		rows := byApp[app]
+		rows := a.byApp[app]
 		data, meta := a.opCounts(rows)
 		dPct, mPct := pcts(data, meta)
 		var bytes int64
@@ -339,27 +575,22 @@ func (a *analysis) apps() []AppEntity {
 		minS = 1<<63 - 1
 		for _, i := range rows {
 			if a.tb.IsData(i) {
-				bytes += a.tb.Size[i]
+				bytes += a.tb.Size(i)
 			}
-			if a.tb.Start[i] < minS {
-				minS = a.tb.Start[i]
+			if a.tb.Start(i) < minS {
+				minS = a.tb.Start(i)
 			}
-			if a.tb.End[i] > maxE {
-				maxE = a.tb.End[i]
-			}
-		}
-		// Processes counts every rank that emitted any event for the app,
-		// including pure compute ranks (the paper's per-app process count).
-		ranks := map[int32]bool{}
-		for i := 0; i < a.tb.N; i++ {
-			if a.tb.App[i] == app {
-				ranks[a.tb.Rank[i]] = true
+			if a.tb.End(i) > maxE {
+				maxE = a.tb.End(i)
 			}
 		}
 		fpp, shared := a.fileSplitForApp(app)
 		out = append(out, AppEntity{
-			Name:        a.tr.AppName(app),
-			Processes:   len(ranks),
+			Name: a.tr.AppName(app),
+			// Processes counts every rank that emitted any event for the
+			// app, including pure compute ranks (the paper's per-app process
+			// count) — gathered in pass 1 rather than by rescanning here.
+			Processes:   a.appRanks[app],
 			ProcDep:     a.procDep(app),
 			FPPFiles:    fpp,
 			SharedFiles: shared,
@@ -420,17 +651,7 @@ func (a *analysis) procDep(app int32) ProcDepKind {
 }
 
 func (a *analysis) workflow(apps []AppEntity) WorkflowEntity {
-	data, meta := a.opCounts(a.primary)
-	dPct, mPct := pcts(data, meta)
-	var read, written int64
-	for _, i := range a.primary {
-		switch trace.Op(a.tb.Op[i]) {
-		case trace.OpRead:
-			read += a.tb.Size[i]
-		case trace.OpWrite:
-			written += a.tb.Size[i]
-		}
-	}
+	dPct, mPct := pcts(a.primData, a.primMeta)
 	var fpp, shared int
 	for _, fa := range a.fileAgg {
 		if len(fa.ranks) == 1 {
@@ -444,11 +665,8 @@ func (a *analysis) workflow(apps []AppEntity) WorkflowEntity {
 		ranksPerNode = a.tr.Meta.Ranks / a.tr.Meta.Nodes
 	}
 	gpus := 0
-	for i := 0; i < a.tb.N; i++ {
-		if trace.Op(a.tb.Op[i]) == trace.OpGPUCompute {
-			gpus = a.tr.Meta.GPUsPerNode
-			break
-		}
+	if a.gpuUsed {
+		gpus = a.tr.Meta.GPUsPerNode
 	}
 	crossRAW := false
 	for _, fa := range a.fileAgg {
@@ -468,9 +686,9 @@ func (a *analysis) workflow(apps []AppEntity) WorkflowEntity {
 		AppDeps:             a.appDeps(),
 		FPPFiles:            fpp,
 		SharedFiles:         shared,
-		IOBytes:             read + written,
-		ReadBytes:           read,
-		WriteBytes:          written,
+		IOBytes:             a.readBytes + a.writeBytes,
+		ReadBytes:           a.readBytes,
+		WriteBytes:          a.writeBytes,
 		DataOpsPct:          dPct,
 		MetaOpsPct:          mPct,
 		CrossNodeRAW:        crossRAW,
@@ -521,12 +739,15 @@ func (a *analysis) appDeps() []AppDep {
 
 // phases splits the primary I/O rows into activity bursts separated by
 // more than the gap threshold, then characterizes each burst (Table V).
+// Primary rows arrive in table order, which the tracer guarantees is
+// (Start, Rank, End)-sorted; the stable sort below is a cheap guard for
+// tables built from unsorted traces and cannot reorder sorted input.
 func (a *analysis) phases() []IOPhaseEntity {
 	if len(a.primary) == 0 {
 		return nil
 	}
 	rows := append([]int(nil), a.primary...)
-	sort.Slice(rows, func(x, y int) bool { return a.tb.Start[rows[x]] < a.tb.Start[rows[y]] })
+	sort.SliceStable(rows, func(x, y int) bool { return a.tb.Start(rows[x]) < a.tb.Start(rows[y]) })
 
 	gap := int64(a.opt.PhaseGap)
 	var phases []IOPhaseEntity
@@ -540,12 +761,12 @@ func (a *analysis) phases() []IOPhaseEntity {
 		cur = nil
 	}
 	for _, i := range rows {
-		if len(cur) > 0 && a.tb.Start[i]-curEnd > gap {
+		if len(cur) > 0 && a.tb.Start(i)-curEnd > gap {
 			flush()
 		}
 		cur = append(cur, i)
-		if a.tb.End[i] > curEnd {
-			curEnd = a.tb.End[i]
+		if a.tb.End(i) > curEnd {
+			curEnd = a.tb.End(i)
 		}
 	}
 	flush()
@@ -557,17 +778,17 @@ func (a *analysis) buildPhase(idx int, rows []int) IOPhaseEntity {
 	dPct, mPct := pcts(data, meta)
 	var bytes int64
 	ranks := map[int32]bool{}
-	minS, maxE := a.tb.Start[rows[0]], int64(0)
+	minS, maxE := a.tb.Start(rows[0]), int64(0)
 	for _, i := range rows {
 		if a.tb.IsData(i) {
-			bytes += a.tb.Size[i]
+			bytes += a.tb.Size(i)
 		}
-		ranks[a.tb.Rank[i]] = true
-		if a.tb.Start[i] < minS {
-			minS = a.tb.Start[i]
+		ranks[a.tb.Rank(i)] = true
+		if a.tb.Start(i) < minS {
+			minS = a.tb.Start(i)
 		}
-		if a.tb.End[i] > maxE {
-			maxE = a.tb.End[i]
+		if a.tb.End(i) > maxE {
+			maxE = a.tb.End(i)
 		}
 	}
 	opsPerRank := float64(len(rows)) / float64(len(ranks))
@@ -592,7 +813,7 @@ func (a *analysis) buildPhase(idx int, rows []int) IOPhaseEntity {
 func (a *analysis) countOp(rows []int, op trace.Op) int64 {
 	var n int64
 	for _, i := range rows {
-		if trace.Op(a.tb.Op[i]) == op {
+		if trace.Op(a.tb.Op(i)) == op {
 			n++
 		}
 	}
@@ -616,7 +837,9 @@ func phaseLabel(opsPerRank float64, granule int64) string {
 }
 
 func (a *analysis) highLevel() HighLevelIOEntity {
-	// Data representation: dominant dimensionality weighted by file I/O.
+	// Data representation: dominant dimensionality weighted by file I/O,
+	// tallied over sorted dimensionalities so weight ties resolve to the
+	// lower dimensionality regardless of map iteration order.
 	dims := map[int]int64{}
 	for _, fa := range a.fileAgg {
 		info := a.tr.Files[fa.id]
@@ -624,10 +847,15 @@ func (a *analysis) highLevel() HighLevelIOEntity {
 			dims[info.NDims] += fa.bytesRead + fa.bytesWritten + 1
 		}
 	}
+	dimOrder := make([]int, 0, len(dims))
+	for d := range dims {
+		dimOrder = append(dimOrder, d)
+	}
+	sort.Ints(dimOrder)
 	bestDim, bestW := 0, int64(-1)
-	for d, w := range dims {
-		if w > bestW {
-			bestDim, bestW = d, w
+	for _, d := range dimOrder {
+		if dims[d] > bestW {
+			bestDim, bestW = d, dims[d]
 		}
 	}
 	repr := "unknown"
@@ -654,13 +882,8 @@ func (a *analysis) dataDist() stats.DistKind {
 }
 
 func (a *analysis) middleware() MiddlewareIOEntity {
-	// POSIX-visible rows: what reaches storage after middleware.
-	var posix []int
-	for i := 0; i < a.tb.N; i++ {
-		if a.tb.IsIO(i) && trace.Level(a.tb.Level[i]) == trace.LevelPosix {
-			posix = append(posix, i)
-		}
-	}
+	// POSIX-visible rows (collected by the fused scan): what reaches
+	// storage after middleware.
 	ranksPerNode := 0
 	if a.tr.Meta.Nodes > 0 {
 		ranksPerNode = a.tr.Meta.Ranks / a.tr.Meta.Nodes
@@ -672,11 +895,11 @@ func (a *analysis) middleware() MiddlewareIOEntity {
 	return MiddlewareIOEntity{
 		ExtraIOCoresPerNode: extra,
 		Granularity: Granularity{
-			Read:  a.dominantSize(posix, trace.OpRead),
-			Write: a.dominantSize(posix, trace.OpWrite),
+			Read:  a.dominantSize(a.posix, trace.OpRead),
+			Write: a.dominantSize(a.posix, trace.OpWrite),
 		},
 		MemPerNodeGB:  a.tr.Meta.MemPerNodeGB,
-		AccessPattern: a.accessPattern(posix),
+		AccessPattern: a.accessPattern(a.posix),
 	}
 }
 
@@ -718,8 +941,7 @@ func (a *analysis) dataset() DatasetEntity {
 			bestFmt, bestN = f, n
 		}
 	}
-	data, meta := a.opCounts(a.primary)
-	dPct, mPct := pcts(data, meta)
+	dPct, mPct := pcts(a.primData, a.primMeta)
 	var io int64
 	for _, fa := range a.fileAgg {
 		io += fa.bytesRead + fa.bytesWritten
@@ -738,10 +960,18 @@ func (a *analysis) dataset() DatasetEntity {
 	}
 }
 
+// fileEntity reports the representative data file: the one with the
+// highest I/O volume, volume ties breaking to the lowest file ID (the
+// first such file recorded) so the pick is deterministic.
 func (a *analysis) fileEntity() FileEntity {
-	// Representative data file: the one with the highest I/O volume.
+	ids := make([]int32, 0, len(a.fileAgg))
+	for f := range a.fileAgg {
+		ids = append(ids, f)
+	}
+	sort.Slice(ids, func(x, y int) bool { return ids[x] < ids[y] })
 	var best *fileAgg
-	for _, fa := range a.fileAgg {
+	for _, f := range ids {
+		fa := a.fileAgg[f]
 		if best == nil || fa.bytesRead+fa.bytesWritten > best.bytesRead+best.bytesWritten {
 			best = fa
 		}
@@ -773,52 +1003,24 @@ func (a *analysis) fileEntity() FileEntity {
 	}
 }
 
+// figure assembles the per-workload figure panels from the fused scan's
+// accumulators (histograms, timelines, per-rank bandwidth, top flows).
 func (a *analysis) figure() FigureData {
-	fig := FigureData{}
-	span := a.runtime
-	if span <= 0 {
-		span = time.Second
+	fig := FigureData{
+		ReadHist:  a.readHist,
+		WriteHist: a.writeHist,
+		ReadTL:    a.readTL,
+		WriteTL:   a.writeTL,
 	}
-	fig.ReadTL = stats.NewTimeline(span, a.opt.TimelineBins)
-	fig.WriteTL = stats.NewTimeline(span, a.opt.TimelineBins)
-	for _, i := range a.primary {
-		d := a.tb.Dur(i)
-		switch trace.Op(a.tb.Op[i]) {
-		case trace.OpRead:
-			fig.ReadHist.Add(a.tb.Size[i], d)
-			fig.ReadTL.Add(time.Duration(a.tb.Start[i]), time.Duration(a.tb.End[i]), a.tb.Size[i])
-		case trace.OpWrite:
-			fig.WriteHist.Add(a.tb.Size[i], d)
-			fig.WriteTL.Add(time.Duration(a.tb.Start[i]), time.Duration(a.tb.End[i]), a.tb.Size[i])
-		}
-	}
-	// Per-rank achieved bandwidth (Figure 2c).
-	type rankAcc struct {
-		rBytes, wBytes int64
-		rDur, wDur     int64
-	}
-	perRank := map[int32]*rankAcc{}
-	var rankOrder []int32
-	for _, i := range a.primary {
-		r := a.tb.Rank[i]
-		acc := perRank[r]
-		if acc == nil {
-			acc = &rankAcc{}
-			perRank[r] = acc
-			rankOrder = append(rankOrder, r)
-		}
-		switch trace.Op(a.tb.Op[i]) {
-		case trace.OpRead:
-			acc.rBytes += a.tb.Size[i]
-			acc.rDur += a.tb.End[i] - a.tb.Start[i]
-		case trace.OpWrite:
-			acc.wBytes += a.tb.Size[i]
-			acc.wDur += a.tb.End[i] - a.tb.Start[i]
-		}
+
+	// Per-rank achieved bandwidth (Figure 2c), ranks ascending.
+	rankOrder := make([]int32, 0, len(a.perRank))
+	for r := range a.perRank {
+		rankOrder = append(rankOrder, r)
 	}
 	sort.Slice(rankOrder, func(x, y int) bool { return rankOrder[x] < rankOrder[y] })
 	for _, r := range rankOrder {
-		acc := perRank[r]
+		acc := a.perRank[r]
 		rb := RankBandwidth{Rank: r}
 		if acc.rDur > 0 {
 			rb.ReadBW = float64(acc.rBytes) / (float64(acc.rDur) / float64(time.Second))

@@ -30,6 +30,7 @@ type Engine struct {
 	running bool
 	live    int // processes spawned and not yet finished
 	procSeq int
+	err     error
 
 	// Stats counters, useful for tests and for the kernel ablation benches.
 	EventsExecuted int64
@@ -257,6 +258,19 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 	}
 	return e.now
 }
+
+// Fail records a simulation-level error. The first error wins; later calls
+// are no-ops. Processes call it instead of panicking when a modeled
+// operation fails, then return; the driver checks Err after Run. The engine
+// runs one process at a time, so no locking is needed.
+func (e *Engine) Fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// Err returns the first error recorded by Fail, or nil.
+func (e *Engine) Err() error { return e.err }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }

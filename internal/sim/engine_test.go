@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -271,5 +272,36 @@ func TestYieldOrdersSameInstant(t *testing.T) {
 		if i >= len(order) || order[i] != want[i] {
 			t.Fatalf("order = %v, want %v", order, want)
 		}
+	}
+}
+
+func TestFailRecordsFirstError(t *testing.T) {
+	e := NewEngine()
+	errA := errors.New("first failure")
+	errB := errors.New("second failure")
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		e.Fail(errA)
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		e.Fail(errB)
+	})
+	e.Run()
+	if e.Err() != errA {
+		t.Errorf("Err = %v, want the first recorded error", e.Err())
+	}
+	e.Fail(nil)
+	if e.Err() != errA {
+		t.Error("Fail(nil) overwrote the recorded error")
+	}
+}
+
+func TestErrNilWithoutFailures(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("ok", func(p *Proc) { p.Sleep(time.Millisecond) })
+	e.Run()
+	if e.Err() != nil {
+		t.Errorf("Err = %v, want nil", e.Err())
 	}
 }

@@ -180,6 +180,17 @@ func (h *SizeHistogram) Add(size int64, d time.Duration) {
 	h.Time[b] += d
 }
 
+// Merge adds another histogram's tallies into h. All fields are integer
+// sums, so merging per-chunk partials in any order is exact — the property
+// the parallel analyzer relies on for bit-identical output.
+func (h *SizeHistogram) Merge(o *SizeHistogram) {
+	for b := range h.Count {
+		h.Count[b] += o.Count[b]
+		h.Bytes[b] += o.Bytes[b]
+		h.Time[b] += o.Time[b]
+	}
+}
+
 // TotalCount returns the number of requests across buckets.
 func (h *SizeHistogram) TotalCount() int64 {
 	var n int64
@@ -298,6 +309,20 @@ func (tl *Timeline) Add(start, end time.Duration, size int64) {
 		}
 		tl.Bytes[b] += share
 		remaining -= share
+	}
+}
+
+// Merge adds another timeline's bins into tl. Both timelines must have the
+// same span and bin count (as per-chunk partials built by NewTimeline with
+// identical parameters do); bins are integer sums, so the merge is exact.
+func (tl *Timeline) Merge(o *Timeline) {
+	if tl.span != o.span || len(tl.Bytes) != len(o.Bytes) {
+		panic(fmt.Sprintf("stats: merging mismatched timelines: span %v/%v bins %d/%d",
+			tl.span, o.span, len(tl.Bytes), len(o.Bytes)))
+	}
+	for i := range tl.Bytes {
+		tl.Bytes[i] += o.Bytes[i]
+		tl.Ops[i] += o.Ops[i]
 	}
 }
 

@@ -172,8 +172,21 @@ func (r *reader) intBounded(what string, max int64) int {
 	return int(v)
 }
 
-// Read decodes a trace previously encoded by Write.
-func Read(in io.Reader) (*Trace, error) {
+// Scanner streams a trace log: the header (metadata, interning tables,
+// samples) decodes eagerly, the event log decodes in caller-sized batches.
+// It is the out-of-core entry point of the analysis pipeline — a trace
+// never needs to materialize as one []Event to be analyzed; events flow
+// from disk straight into the columnar store chunk by chunk.
+type Scanner struct {
+	r         *reader
+	hdr       *Trace
+	remaining uint64
+	prevStart time.Duration
+}
+
+// NewScanner decodes the trace header from in and positions the scanner at
+// the first event. The reader must not be used by the caller afterwards.
+func NewScanner(in io.Reader) (*Scanner, error) {
 	r := &reader{r: bufio.NewReaderSize(in, 1<<16)}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(r.r, head); err != nil {
@@ -238,12 +251,33 @@ func Read(in io.Reader) (*Trace, error) {
 	if r.err == nil && nEvents > 1<<32 {
 		return nil, fmt.Errorf("%w: event count %d", ErrBadFormat, nEvents)
 	}
-	if r.err == nil && nEvents < 1<<24 {
-		t.Events = make([]Event, 0, nEvents)
+	if r.err != nil {
+		return nil, r.err
 	}
-	var prevStart time.Duration
-	for i := uint64(0); i < nEvents && r.err == nil; i++ {
-		var e Event
+	return &Scanner{r: r, hdr: t, remaining: nEvents}, nil
+}
+
+// Header returns the decoded trace header: a Trace carrying Meta, Apps,
+// Files and Samples but no Events. The scanner retains no reference to it.
+func (s *Scanner) Header() *Trace { return s.hdr }
+
+// Remaining returns the number of events not yet scanned.
+func (s *Scanner) Remaining() uint64 { return s.remaining }
+
+// Next decodes up to len(buf) events into buf and returns how many were
+// filled. It returns io.EOF (with n == 0) once the event log is exhausted,
+// and a decoding error if the log is corrupt or truncated.
+func (s *Scanner) Next(buf []Event) (int, error) {
+	if s.remaining == 0 {
+		return 0, io.EOF
+	}
+	n := uint64(len(buf))
+	if n > s.remaining {
+		n = s.remaining
+	}
+	r := s.r
+	for i := uint64(0); i < n; i++ {
+		e := &buf[i]
 		e.Level = Level(r.uvarint())
 		e.Op = Op(r.uvarint())
 		e.Lib = Lib(r.uvarint())
@@ -253,13 +287,37 @@ func Read(in io.Reader) (*Trace, error) {
 		e.File = int32(r.varint())
 		e.Offset = r.varint()
 		e.Size = r.varint()
-		e.Start = prevStart + time.Duration(r.varint())
+		e.Start = s.prevStart + time.Duration(r.varint())
 		e.End = e.Start + time.Duration(r.varint())
-		prevStart = e.Start
-		t.Events = append(t.Events, e)
+		s.prevStart = e.Start
+		if r.err != nil {
+			return int(i), r.err
+		}
 	}
-	if r.err != nil {
-		return nil, r.err
+	s.remaining -= n
+	return int(n), nil
+}
+
+// Read decodes a trace previously encoded by Write, materializing the full
+// event log through the streaming scanner.
+func Read(in io.Reader) (*Trace, error) {
+	s, err := NewScanner(in)
+	if err != nil {
+		return nil, err
 	}
-	return t, nil
+	t := s.Header()
+	if s.remaining < 1<<24 {
+		t.Events = make([]Event, 0, s.remaining)
+	}
+	buf := make([]Event, 4096)
+	for {
+		n, err := s.Next(buf)
+		t.Events = append(t.Events, buf[:n]...)
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 }

@@ -12,8 +12,11 @@
 package trace
 
 import (
+	"container/heap"
 	"sort"
 	"time"
+
+	"vani/internal/parallel"
 )
 
 // Level identifies the software layer that emitted an event, mirroring
@@ -212,24 +215,35 @@ func (t *Trace) JobRuntime() time.Duration {
 	return max
 }
 
-// SortByStart orders events by (Start, Rank, End); analyzer passes assume
-// this ordering.
+// eventBefore is the canonical event ordering: (Start, Rank, End). It is a
+// total order up to record sequence: events equal on all three keys keep
+// their input order under the stable sort in SortByStart and under the
+// shard merge in Finish, which both therefore produce the same byte-for-
+// byte event stream for the same per-rank record sequences.
+func eventBefore(a, b *Event) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.End < b.End
+}
+
+// SortByStart orders events by (Start, Rank, End), breaking remaining ties
+// by input sequence (stable); analyzer passes assume this ordering.
 func (t *Trace) SortByStart() {
 	sort.SliceStable(t.Events, func(i, j int) bool {
-		a, b := t.Events[i], t.Events[j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if a.Rank != b.Rank {
-			return a.Rank < b.Rank
-		}
-		return a.End < b.End
+		return eventBefore(&t.Events[i], &t.Events[j])
 	})
 }
 
-// Tracer accumulates events during a simulation. The simulation kernel runs
-// one process at a time, so Tracer needs no locking; it must not be shared
-// across concurrently running engines.
+// Tracer accumulates events during a simulation. The event log is sharded
+// per rank: each rank appends to its own shard, so there is no global
+// append point contended by every recorded event, and Finish can sort the
+// shards in parallel before a deterministic k-way merge. The simulation
+// kernel runs one process at a time, so the shards need no locking; a
+// Tracer must not be shared across concurrently running engines.
 type Tracer struct {
 	enabled  bool
 	overhead time.Duration // virtual time charged per recorded event
@@ -240,9 +254,18 @@ type Tracer struct {
 	files   []FileInfo
 	fileIDs map[string]int32
 	samples []DatasetSample
-	events  []Event
+
+	shards    map[int32]*shard // per-rank event logs
+	shardKeys []int32          // ranks in first-record order
+	count     int
 
 	totalOverhead time.Duration
+	mergeTime     time.Duration // wall-clock of the last Finish merge
+}
+
+// shard is one rank's event log, in record order.
+type shard struct {
+	events []Event
 }
 
 // NewTracer returns an enabled tracer with no per-event overhead.
@@ -251,6 +274,7 @@ func NewTracer() *Tracer {
 		enabled: true,
 		appIDs:  make(map[string]int32),
 		fileIDs: make(map[string]int32),
+		shards:  make(map[int32]*shard),
 	}
 }
 
@@ -331,32 +355,122 @@ func (t *Tracer) AddSample(name string, values []float64) {
 	t.samples = append(t.samples, DatasetSample{Name: name, Values: values})
 }
 
-// Record captures one event and returns the virtual-time overhead the
-// caller must charge to the issuing process (zero when disabled).
+// Record captures one event into the issuing rank's shard and returns the
+// virtual-time overhead the caller must charge to the issuing process (zero
+// when disabled).
 func (t *Tracer) Record(ev Event) time.Duration {
 	if !t.enabled {
 		return 0
 	}
-	t.events = append(t.events, ev)
+	s := t.shards[ev.Rank]
+	if s == nil {
+		s = &shard{}
+		t.shards[ev.Rank] = s
+		t.shardKeys = append(t.shardKeys, ev.Rank)
+	}
+	s.events = append(s.events, ev)
+	t.count++
 	t.totalOverhead += t.overhead
 	return t.overhead
 }
 
-// Len returns the number of captured events.
-func (t *Tracer) Len() int { return len(t.events) }
+// Len returns the number of captured events across all shards.
+func (t *Tracer) Len() int { return t.count }
 
-// Finish seals the tracer and returns the completed Trace. The tracer can
-// keep recording afterwards but the returned Trace is a snapshot.
+// Shards returns the number of per-rank event shards.
+func (t *Tracer) Shards() int { return len(t.shards) }
+
+// MergeTime returns the wall-clock time the last Finish spent sorting and
+// merging the per-rank shards (the pipeline's trace-merge stage).
+func (t *Tracer) MergeTime() time.Duration { return t.mergeTime }
+
+// Finish seals the tracer and returns the completed Trace: each rank's
+// shard is sorted independently (in parallel across shards), then a k-way
+// merge by (Start, Rank, End) produces the global event order. The merge is
+// deterministic — the output depends only on the per-rank record sequences,
+// not on how ranks interleaved during the run or on scheduling of the sort
+// workers. The tracer can keep recording afterwards; the returned Trace is
+// a snapshot.
 func (t *Tracer) Finish() *Trace {
+	begin := time.Now()
 	m := t.meta
 	m.TraceOverhead = t.totalOverhead
+
+	// Sort shard keys so the merge sees shards in rank order.
+	keys := append([]int32(nil), t.shardKeys...)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Per-shard stable sort by (Start, End); Rank is constant within a
+	// shard, so this is the canonical order restricted to the shard. Shards
+	// are independent, so they sort in parallel.
+	sorted := make([][]Event, len(keys))
+	parallel.ForEach(0, len(keys), func(i int) {
+		evs := append([]Event(nil), t.shards[keys[i]].events...)
+		sort.SliceStable(evs, func(x, y int) bool { return eventBefore(&evs[x], &evs[y]) })
+		sorted[i] = evs
+	})
+
 	tr := &Trace{
 		Meta:    m,
 		Apps:    append([]string(nil), t.apps...),
 		Files:   append([]FileInfo(nil), t.files...),
 		Samples: append([]DatasetSample(nil), t.samples...),
-		Events:  append([]Event(nil), t.events...),
+		Events:  mergeShards(sorted, t.count),
 	}
-	tr.SortByStart()
+	t.mergeTime = time.Since(begin)
 	return tr
+}
+
+// mergeCursor is one shard's read position in the k-way merge.
+type mergeCursor struct {
+	evs []Event
+	pos int
+}
+
+type mergeHeap []*mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return eventBefore(&h[i].evs[h[i].pos], &h[j].evs[h[j].pos])
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// mergeShards k-way merges per-rank, canonically sorted event logs into the
+// global (Start, Rank, End) order. Heads of distinct shards always differ
+// in Rank, so the heap comparison is a strict total order and the merge
+// result is independent of shard arrival order.
+func mergeShards(shards [][]Event, total int) []Event {
+	out := make([]Event, 0, total)
+	switch len(shards) {
+	case 0:
+		return out
+	case 1:
+		return append(out, shards[0]...)
+	}
+	h := make(mergeHeap, 0, len(shards))
+	for _, evs := range shards {
+		if len(evs) > 0 {
+			h = append(h, &mergeCursor{evs: evs})
+		}
+	}
+	heap.Init(&h)
+	for len(h) > 0 {
+		c := h[0]
+		out = append(out, c.evs[c.pos])
+		c.pos++
+		if c.pos == len(c.evs) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
 }

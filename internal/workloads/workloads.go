@@ -106,6 +106,9 @@ type Result struct {
 	Sys     *storage.System
 	Job     cluster.Job
 	Spec    Spec
+	// TraceMerge is the wall-clock time the tracer spent merging its
+	// per-rank shards at Finish (the pipeline's first stage timing).
+	TraceMerge time.Duration
 }
 
 // Run assembles the environment, executes the workload to completion, and
@@ -141,12 +144,17 @@ func Run(w Workload, spec Spec) (*Result, error) {
 	w.Setup(env)
 	w.Spawn(env)
 	runtime := e.Run()
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	merged := tr.Finish()
 	return &Result{
-		Trace:   tr.Finish(),
-		Runtime: runtime,
-		Sys:     sys,
-		Job:     job,
-		Spec:    spec,
+		Trace:      merged,
+		Runtime:    runtime,
+		Sys:        sys,
+		Job:        job,
+		Spec:       spec,
+		TraceMerge: tr.MergeTime(),
 	}, nil
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# bench.sh — run the analysis-pipeline benchmarks and emit a JSON record.
+#
+# Usage: scripts/bench.sh [out.json]
+#
+# Captures the sequential-vs-parallel analyzer and columnarizer benchmarks
+# plus the row-major-vs-columnar ablation, and records GOMAXPROCS so
+# speedups are interpretable (a 1-core runner cannot show one).
+set -eu
+
+out="${1:-BENCH_PR1.json}"
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkAnalyzerParallelism|BenchmarkColumnarize|BenchmarkAblation_ColumnarAnalysis' \
+    -benchtime 10x -timeout 20m . | tee "$tmp"
+
+go run ./scripts/benchjson "$tmp" > "$out"
+echo "wrote $out"

@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` output into the JSON bench
+// record scripts/bench.sh publishes (BENCH_PR1.json): one entry per
+// benchmark with ns/op, plus environment fields (GOMAXPROCS, CPU count,
+// go version) and the derived sequential/parallel analyzer speedup.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name string  `json:"name"`
+	N    int64   `json:"iterations"`
+	NsOp float64 `json:"ns_per_op"`
+}
+
+type record struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Note       string   `json:"note"`
+	Results    []result `json:"results"`
+	// AnalyzerSpeedup is seq-ns/par-ns of BenchmarkAnalyzerParallelism —
+	// the tentpole's headline number. Meaningful only when gomaxprocs > 1.
+	AnalyzerSpeedup float64 `json:"analyzer_speedup_seq_over_par"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson <go-test-bench-output-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	rec := record{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "analyzer_speedup is wall-clock seq/par of the fused chunk-parallel " +
+			"analysis; on a single-core runner (gomaxprocs=1) the parallel path " +
+			"degenerates to sequential and the ratio stays ~1 by design " +
+			"(outputs are bit-identical at every parallelism).",
+	}
+	var seqNs, parNs float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines: name iterations ns/op "ns/op" [extra metrics...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		n, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		rec.Results = append(rec.Results, result{Name: fields[0], N: n, NsOp: ns})
+		if strings.HasPrefix(fields[0], "BenchmarkAnalyzerParallelism/seq") {
+			seqNs = ns
+		}
+		if strings.HasPrefix(fields[0], "BenchmarkAnalyzerParallelism/par") {
+			parNs = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if seqNs > 0 && parNs > 0 {
+		rec.AnalyzerSpeedup = seqNs / parNs
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

@@ -19,9 +19,11 @@ package vani
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"vani/internal/advisor"
+	"vani/internal/colstore"
 	"vani/internal/core"
 	"vani/internal/iface"
 	"vani/internal/replay"
@@ -68,11 +70,35 @@ func Workloads() []string { return workloads.Names() }
 // Run simulates the workload under spec and returns its trace and runtime.
 func Run(w Workload, spec Spec) (*Result, error) { return workloads.Run(w, spec) }
 
+// AnalyzerOptions tunes the characterization pipeline: phase gap, figure
+// resolution, the Parallelism knob of the chunked scans, and an optional
+// Stats sink for per-stage wall-clock timings. The output is bit-identical
+// at every Parallelism setting.
+type AnalyzerOptions = core.Options
+
+// AnalyzerTimings receives per-stage wall-clock timings (trace-merge,
+// columnarize, analyze) when wired into AnalyzerOptions.Stats.
+type AnalyzerTimings = core.Timings
+
+// DefaultAnalyzerOptions returns the settings used for the paper tables.
+func DefaultAnalyzerOptions() AnalyzerOptions { return core.DefaultOptions() }
+
 // Characterize analyzes a run into the paper's entities and attributes.
 func Characterize(res *Result) *Characterization {
-	opt := core.DefaultOptions()
-	cfg := res.Spec.Storage
-	opt.Storage = &cfg
+	return CharacterizeWith(res, DefaultAnalyzerOptions())
+}
+
+// CharacterizeWith is Characterize with explicit analyzer options. A nil
+// opt.Storage is filled from the run's spec; opt.Stats, when set, also
+// receives the tracer's shard-merge time.
+func CharacterizeWith(res *Result, opt AnalyzerOptions) *Characterization {
+	if opt.Storage == nil {
+		cfg := res.Spec.Storage
+		opt.Storage = &cfg
+	}
+	if opt.Stats != nil {
+		opt.Stats.TraceMerge = res.TraceMerge
+	}
 	return core.Analyze(res.Trace, opt)
 }
 
@@ -81,6 +107,46 @@ func CharacterizeTrace(tr *Trace, cfg *StorageConfig) *Characterization {
 	opt := core.DefaultOptions()
 	opt.Storage = cfg
 	return core.Analyze(tr, opt)
+}
+
+// CharacterizeFile analyzes a trace log on disk by streaming it through
+// the scanner straight into column chunks — the event log never
+// materializes as a []Event, so traces larger than memory analyze fine.
+func CharacterizeFile(path string, cfg *StorageConfig) (*Characterization, error) {
+	opt := core.DefaultOptions()
+	opt.Storage = cfg
+	return CharacterizeFileWith(path, opt)
+}
+
+// CharacterizeFileWith is CharacterizeFile with explicit analyzer options.
+func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := trace.NewScanner(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	t0 := time.Now()
+	b := colstore.NewBuilder()
+	buf := make([]trace.Event, 8192)
+	for {
+		n, err := sc.Next(buf)
+		b.AppendEvents(buf[:n])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+	}
+	tb := b.Finish()
+	if opt.Stats != nil {
+		opt.Stats.Columnarize = time.Since(t0)
+	}
+	return core.AnalyzeTable(sc.Header(), tb, opt), nil
 }
 
 // Advise maps a characterization to storage-configuration recommendations
@@ -217,8 +283,10 @@ func Optimize(w Workload, spec Spec) (*CaseStudy, error) {
 // ProbeSharedBW measures the shared storage's achievable aggregate
 // bandwidth with an IOR-like benchmark: one writer rank per node streaming
 // large sequential transfers to file-per-process files, caches off. This
-// is the "64GB/s using 32 node IOR" measurement of Table IX.
-func ProbeSharedBW(cfg StorageConfig, nodes int) float64 {
+// is the "64GB/s using 32 node IOR" measurement of Table IX. A modeled
+// I/O failure inside the benchmark surfaces as an error (via the engine's
+// Fail/Err facility) rather than a panic.
+func ProbeSharedBW(cfg StorageConfig, nodes int) (float64, error) {
 	cfg.CacheEnabled = false
 	cfg.JitterFrac = 0
 	e := sim.NewEngine()
@@ -230,26 +298,32 @@ func ProbeSharedBW(cfg StorageConfig, nodes int) float64 {
 		e.Spawn("ior", func(p *sim.Proc) {
 			path := fmt.Sprintf("%s/ior/out.%04d", cfg.PFSDir, n)
 			if err := sys.Open(p, n, path, true); err != nil {
-				panic(err)
+				e.Fail(fmt.Errorf("shared-bw probe: open %s: %w", path, err))
+				return
 			}
 			for off := int64(0); off < perNode; off += chunk {
 				if err := sys.Write(p, n, path, off, chunk); err != nil {
-					panic(err)
+					e.Fail(fmt.Errorf("shared-bw probe: write %s: %w", path, err))
+					return
 				}
 			}
 			sys.Close(p, n, path)
 		})
 	}
 	elapsed := e.Run()
-	if elapsed <= 0 {
-		return 0
+	if err := e.Err(); err != nil {
+		return 0, err
 	}
-	return float64(perNode*int64(nodes)) / elapsed.Seconds()
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(perNode*int64(nodes)) / elapsed.Seconds(), nil
 }
 
 // ProbeNodeLocalBW measures one node's node-local storage bandwidth with
-// sequential large writes (Table VIII's "Max I/O bw/node").
-func ProbeNodeLocalBW(cfg StorageConfig) float64 {
+// sequential large writes (Table VIII's "Max I/O bw/node"). Modeled I/O
+// failures surface as errors, as in ProbeSharedBW.
+func ProbeNodeLocalBW(cfg StorageConfig) (float64, error) {
 	e := sim.NewEngine()
 	sys := storage.New(e, cfg, 1, sim.NewRNG(1))
 	const total = 8 * storage.GiB
@@ -257,18 +331,23 @@ func ProbeNodeLocalBW(cfg StorageConfig) float64 {
 	e.Spawn("probe", func(p *sim.Proc) {
 		path := cfg.NodeLocalDir + "/probe"
 		if err := sys.Open(p, 0, path, true); err != nil {
-			panic(err)
+			e.Fail(fmt.Errorf("node-local probe: open %s: %w", path, err))
+			return
 		}
 		for off := int64(0); off < total; off += chunk {
 			if err := sys.Write(p, 0, path, off, chunk); err != nil {
-				panic(err)
+				e.Fail(fmt.Errorf("node-local probe: write %s: %w", path, err))
+				return
 			}
 		}
 		sys.Close(p, 0, path)
 	})
 	elapsed := e.Run()
-	if elapsed <= 0 {
-		return 0
+	if err := e.Err(); err != nil {
+		return 0, err
 	}
-	return float64(total) / elapsed.Seconds()
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(total) / elapsed.Seconds(), nil
 }

@@ -126,13 +126,19 @@ func TestProbeSharedBWClientLimited(t *testing.T) {
 	// server system. Wider jobs pull proportionally more until the server
 	// ceiling.
 	cfg := storage.Lassen()
-	bw32 := ProbeSharedBW(cfg, 32)
+	bw32, err := ProbeSharedBW(cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := float64(cfg.NodeNICBW) * 32
 	if bw32 < want*0.7 || bw32 > want*1.1 {
 		t.Errorf("32-node IOR = %.1f GB/s, want ~%.1f GB/s (client-limited)",
 			bw32/(1<<30), want/(1<<30))
 	}
-	bw128 := ProbeSharedBW(cfg, 128)
+	bw128, err := ProbeSharedBW(cfg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bw128 < 3*bw32 {
 		t.Errorf("128-node IOR (%.1f GB/s) should scale with clients (32-node: %.1f GB/s)",
 			bw128/(1<<30), bw32/(1<<30))
@@ -146,7 +152,10 @@ func TestProbeSharedBWClientLimited(t *testing.T) {
 
 func TestProbeNodeLocalBW(t *testing.T) {
 	cfg := storage.Lassen()
-	bw := ProbeNodeLocalBW(cfg)
+	bw, err := ProbeNodeLocalBW(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := float64(cfg.NodeLocalBW)
 	if bw < want/2 || bw > want*1.1 {
 		t.Errorf("node-local BW %.1f GB/s vs configured %.1f GB/s",
