@@ -13,6 +13,8 @@ package vani
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -469,7 +471,8 @@ func BenchmarkKernel_EventThroughput(b *testing.B) {
 	b.ReportMetric(float64(events), "events/op")
 }
 
-// BenchmarkTraceCodec measures trace serialization round-trip throughput.
+// BenchmarkTraceCodec measures trace serialization round-trip throughput
+// (write + full read) in the default on-disk format.
 func BenchmarkTraceCodec(b *testing.B) {
 	_, _ = allRuns(b)
 	tr := runRes["hacc"].Trace
@@ -479,6 +482,7 @@ func BenchmarkTraceCodec(b *testing.B) {
 	}
 	size := buf.Len()
 	b.SetBytes(int64(size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf.Reset()
@@ -488,6 +492,154 @@ func BenchmarkTraceCodec(b *testing.B) {
 		if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// codecFixtures builds one large synthetic trace (~200K events) and its
+// encodings in every format, shared by the encode/decode throughput benches
+// so format comparisons run over identical data.
+var (
+	codecOnce    sync.Once
+	codecTrace   *Trace
+	codecV1      []byte
+	codecV2      []byte
+	codecV2Flate []byte
+)
+
+func codecFixtures(b *testing.B) {
+	b.Helper()
+	codecOnce.Do(func() {
+		rng := sim.NewRNG(11)
+		tr := trace.NewTracer()
+		tr.SetMeta(trace.Meta{
+			Workload: "bench", JobID: "bench-1", Nodes: 32, CoresPerNode: 40,
+			Ranks: 1280, PFSDir: "/p/gpfs1", NodeLocalDir: "/dev/shm",
+		})
+		app := tr.AppID("bench")
+		var files []int32
+		for i := 0; i < 64; i++ {
+			files = append(files, tr.FileID(fmt.Sprintf("/p/gpfs1/part%02d", i)))
+		}
+		var clock time.Duration
+		const nEvents = 200_000
+		for i := 0; i < nEvents; i++ {
+			clock += time.Duration(rng.Intn(2000)) * time.Microsecond
+			op := trace.OpRead
+			if rng.Intn(2) == 0 {
+				op = trace.OpWrite
+			}
+			tr.Record(trace.Event{
+				Level: trace.LevelPosix, Op: op,
+				Rank: int32(rng.Intn(1280)), Node: int32(rng.Intn(32)),
+				App: app, File: files[rng.Intn(len(files))],
+				Offset: int64(rng.Intn(1 << 30)), Size: int64(rng.Intn(1 << 22)),
+				Start: clock, End: clock + time.Duration(rng.Intn(5000))*time.Microsecond,
+			})
+		}
+		codecTrace = tr.Finish()
+		encode := func(f func(*bytes.Buffer) error) []byte {
+			var buf bytes.Buffer
+			if err := f(&buf); err != nil {
+				panic(err)
+			}
+			return buf.Bytes()
+		}
+		codecV1 = encode(func(buf *bytes.Buffer) error { return trace.Write(buf, codecTrace) })
+		codecV2 = encode(func(buf *bytes.Buffer) error { return trace.WriteV2(buf, codecTrace) })
+		codecV2Flate = encode(func(buf *bytes.Buffer) error {
+			return trace.WriteV2With(buf, codecTrace, trace.V2Options{Compress: true})
+		})
+	})
+}
+
+// BenchmarkTraceEncode measures encode throughput (MB/s of produced bytes)
+// per format. The v2 encoder fans block encoding over the worker pool; its
+// output is byte-identical at every parallelism.
+func BenchmarkTraceEncode(b *testing.B) {
+	codecFixtures(b)
+	for _, bench := range []struct {
+		name    string
+		encoded []byte
+		write   func(*bytes.Buffer) error
+	}{
+		{"v1", codecV1, func(buf *bytes.Buffer) error { return trace.Write(buf, codecTrace) }},
+		{"v2", codecV2, func(buf *bytes.Buffer) error { return trace.WriteV2(buf, codecTrace) }},
+		{"v2-flate", codecV2Flate, func(buf *bytes.Buffer) error {
+			return trace.WriteV2With(buf, codecTrace, trace.V2Options{Compress: true})
+		}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			buf.Grow(len(bench.encoded))
+			b.SetBytes(int64(len(bench.encoded)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := bench.write(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceDecodeToTable measures the full ingest path each format
+// supports: log bytes to analyzable column chunks. v1 can only stream
+// serially (one delta chain); v2 decodes blocks independently, serially or
+// fanned over the worker pool straight into chunk adoption.
+func BenchmarkTraceDecodeToTable(b *testing.B) {
+	codecFixtures(b)
+	wantRows := len(codecTrace.Events)
+	decodeV1 := func() (*colstore.Table, error) {
+		s, err := trace.NewScanner(bytes.NewReader(codecV1))
+		if err != nil {
+			return nil, err
+		}
+		bld := colstore.NewBuilder()
+		buf := make([]trace.Event, colstore.ChunkRows)
+		for {
+			n, err := s.Next(buf)
+			bld.AppendEvents(buf[:n])
+			if err == io.EOF {
+				return bld.Finish(), nil
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	decodeV2 := func(data []byte, par int) (*colstore.Table, error) {
+		br, err := trace.NewBlockReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return nil, err
+		}
+		return colstore.FromBlocks(br, par)
+	}
+	for _, bench := range []struct {
+		name   string
+		bytes  []byte
+		decode func() (*colstore.Table, error)
+	}{
+		{"v1-serial", codecV1, decodeV1},
+		{"v2-serial", codecV2, func() (*colstore.Table, error) { return decodeV2(codecV2, 1) }},
+		{"v2-parallel", codecV2, func() (*colstore.Table, error) { return decodeV2(codecV2, 0) }},
+		{"v2-flate-parallel", codecV2Flate, func() (*colstore.Table, error) { return decodeV2(codecV2Flate, 0) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.SetBytes(int64(len(bench.bytes)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb, err := bench.decode()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tb.Len() != wantRows {
+					b.Fatalf("decoded %d rows, want %d", tb.Len(), wantRows)
+				}
+			}
+		})
 	}
 }
 

@@ -23,10 +23,12 @@ func main() {
 	traceFile := flag.String("t", "", "trace file to replay (required)")
 	sweep := flag.String("sweep", "stripe", "candidate sweep: stripe or cache")
 	think := flag.Bool("think", true, "preserve recorded think time between calls")
+	convert := flag.String("convert", "", "rewrite the loaded trace to this path (in -format) before replaying")
+	format := flag.String("format", "v2", "trace format for -convert: v2 (block-structured) or v1")
 	flag.Parse()
 
 	if *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "usage: replay -t <trace> [-sweep stripe|cache] [-think=false]")
+		fmt.Fprintln(os.Stderr, "usage: replay -t <trace> [-sweep stripe|cache] [-think=false] [-convert out.trc -format v2]")
 		os.Exit(2)
 	}
 	f, err := os.Open(*traceFile)
@@ -39,6 +41,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *convert != "" {
+		tf, err := vani.ParseTraceFormat(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		o, err := os.Create(*convert)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := vani.WriteTraceFormat(o, tr, tf); err != nil {
+			o.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := o.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "converted %s -> %s (%s)\n", *traceFile, *convert, tf)
 	}
 
 	base := storage.Lassen()

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"vani"
@@ -48,8 +49,16 @@ func main() {
 	figures := flag.Bool("figures", false, "also render the per-workload figure panels")
 	overhead := flag.Duration("trace-overhead", 0, "per-event tracer overhead (e.g. 2us)")
 	par := flag.Int("par", 0, "analyzer parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	traceDir := flag.String("trace-dir", "", "also write each workload's trace into this directory")
+	format := flag.String("format", "v2", "trace format for -trace-dir: v2 (block-structured) or v1")
 	verbose := flag.Bool("v", false, "print per-stage pipeline timings")
 	flag.Parse()
+
+	tf, err := vani.ParseTraceFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	names := vani.Workloads()
 	if *only != "" {
@@ -88,6 +97,14 @@ func main() {
 				timings.TraceMerge, timings.Columnarize, timings.Analyze)
 		}
 		cols = append(cols, report.Named{Name: display(name), C: c})
+		if *traceDir != "" {
+			path := filepath.Join(*traceDir, name+".trc")
+			if err := dumpTrace(path, res.Trace, tf); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "    wrote %s (%s)\n", path, tf)
+		}
 		if *figures {
 			fmt.Println(report.Figure(c))
 		}
@@ -109,4 +126,19 @@ func display(name string) string {
 
 func defaultStorage() vani.StorageConfig {
 	return workloads.DefaultSpec().Storage
+}
+
+func dumpTrace(path string, tr *vani.Trace, tf vani.TraceFormat) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := vani.WriteTraceFormat(f, tr, tf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -25,13 +25,27 @@ func main() {
 	advise := flag.Bool("advise", false, "print storage recommendations")
 	phases := flag.Bool("phases", false, "render the full I/O phase series")
 	yamlOut := flag.String("yaml", "", "write the characterization as YAML to this file")
+	rewrite := flag.String("rewrite", "", "transcode the input trace to this path (in -format) before analyzing")
+	format := flag.String("format", "v2", "trace format for -rewrite: v2 (block-structured) or v1")
 	par := flag.Int("par", 0, "analyzer parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print per-stage pipeline timings")
 	flag.Parse()
 
 	if *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "usage: vani -t <trace> [-tables] [-figure] [-advise] [-yaml out.yaml]")
+		fmt.Fprintln(os.Stderr, "usage: vani -t <trace> [-tables] [-figure] [-advise] [-yaml out.yaml] [-rewrite out.trc -format v2]")
 		os.Exit(2)
+	}
+	if *rewrite != "" {
+		tf, err := vani.ParseTraceFormat(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := transcode(*traceFile, *rewrite, tf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rewrote %s as %s (%s)\n", *traceFile, *rewrite, tf)
 	}
 	// Stream the trace from disk into column chunks: the event log never
 	// materializes in memory, so arbitrarily large traces analyze fine.
@@ -79,4 +93,27 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *yamlOut, len(data))
 	}
+}
+
+// transcode reads a trace in either format and rewrites it in tf — the
+// migration path for VANITRC1 logs captured before the block format.
+func transcode(in, out string, tf vani.TraceFormat) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	tr, err := vani.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", in, err)
+	}
+	o, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := vani.WriteTraceFormat(o, tr, tf); err != nil {
+		o.Close()
+		return fmt.Errorf("writing %s: %w", out, err)
+	}
+	return o.Close()
 }

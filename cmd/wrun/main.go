@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"vani"
+	"vani/internal/trace"
 )
 
 func main() {
@@ -23,9 +24,21 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "fraction of paper scale (1.0 = full)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	out := flag.String("o", "", "trace output file (empty = don't write)")
+	format := flag.String("format", "v2", "trace format: v2 (block-structured, parallel decode) or v1")
+	compress := flag.Bool("compress", false, "flate-compress v2 event blocks")
 	optimized := flag.Bool("optimized", false, "apply the workload's case-study optimization")
 	overhead := flag.Duration("trace-overhead", 0, "per-event tracer overhead")
 	flag.Parse()
+
+	tf, err := vani.ParseTraceFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *compress && tf != vani.TraceFormatV2 {
+		fmt.Fprintln(os.Stderr, "-compress requires -format v2")
+		os.Exit(2)
+	}
 
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "usage: wrun -w <workload> [flags]; workloads:",
@@ -68,7 +81,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := vani.WriteTrace(f, res.Trace); err != nil {
+		if err := writeTrace(f, res.Trace, tf, *compress); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -79,6 +92,13 @@ func main() {
 		fi, _ := os.Stat(*out)
 		fmt.Printf("trace      : %s (%s)\n", *out, mb(fi.Size()))
 	}
+}
+
+func writeTrace(f *os.File, tr *vani.Trace, tf vani.TraceFormat, compress bool) error {
+	if tf == vani.TraceFormatV2 && compress {
+		return trace.WriteV2With(f, tr, trace.V2Options{Compress: true})
+	}
+	return vani.WriteTraceFormat(f, tr, tf)
 }
 
 func mb(b int64) string {

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"vani/internal/trace"
 )
 
 // equivSpec builds a small-but-nontrivial spec for equivalence runs: large
@@ -97,6 +99,93 @@ func TestCharacterizeFileMatchesInMemory(t *testing.T) {
 				t.Errorf("%s: streamed characterization differs from in-memory (par=%d)", name, par)
 			}
 		}
+	}
+}
+
+// TestFormatEquivalence is the VANITRC2 contract: the same workload
+// characterized through a VANITRC1 log, a raw VANITRC2 log, and a
+// compressed VANITRC2 log — at sequential and parallel decode — produces a
+// YAML artifact byte-identical to the in-memory analysis.
+func TestFormatEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	writeAs := func(t *testing.T, path string, f func(*os.File) error) {
+		t.Helper()
+		out, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f(out); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"hacc", "cosmoflow"} {
+		w, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w, equivSpec(w, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ToYAML(Characterize(res))
+
+		variants := map[string]func(*os.File) error{
+			"v1":      func(f *os.File) error { return WriteTraceFormat(f, res.Trace, TraceFormatV1) },
+			"v2":      func(f *os.File) error { return WriteTraceFormat(f, res.Trace, TraceFormatV2) },
+			"v2flate": func(f *os.File) error { return trace.WriteV2With(f, res.Trace, trace.V2Options{Compress: true}) },
+		}
+		cfg := res.Spec.Storage
+		for variant, write := range variants {
+			path := filepath.Join(dir, name+"-"+variant+".trc")
+			writeAs(t, path, write)
+			for _, par := range []int{1, 4} {
+				opt := DefaultAnalyzerOptions()
+				opt.Storage = &cfg
+				opt.Parallelism = par
+				c, err := CharacterizeFileWith(path, opt)
+				if err != nil {
+					t.Fatalf("%s %s par=%d: %v", name, variant, par, err)
+				}
+				if got := ToYAML(c); !bytes.Equal(want, got) {
+					t.Errorf("%s: %s characterization differs from in-memory (par=%d)", name, variant, par)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceFormatRoundTripFacade: the facade's format-aware writer and the
+// sniffing reader agree for both formats.
+func TestTraceFormatRoundTripFacade(t *testing.T) {
+	w, err := New("ior")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, equivSpec(w, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tf := range []TraceFormat{TraceFormatV1, TraceFormatV2} {
+		var buf bytes.Buffer
+		if err := WriteTraceFormat(&buf, res.Trace, tf); err != nil {
+			t.Fatalf("%v: %v", tf, err)
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", tf, err)
+		}
+		if len(got.Events) != len(res.Trace.Events) {
+			t.Errorf("%v: %d events round-tripped, want %d", tf, len(got.Events), len(res.Trace.Events))
+		}
+	}
+	if _, err := ParseTraceFormat("v2"); err != nil {
+		t.Errorf("ParseTraceFormat(v2): %v", err)
+	}
+	if _, err := ParseTraceFormat("bogus"); err == nil {
+		t.Error("ParseTraceFormat accepted bogus")
 	}
 }
 

@@ -1,0 +1,100 @@
+// Package heapx provides a generic, non-boxing binary min-heap.
+//
+// It replaces the container/heap uses on the repository's hot paths (the
+// simulation kernel's event queue and the tracer's shard merge), where the
+// standard library's interface{}-based Push/Pop box every element and cost
+// an allocation per scheduled event. The sift algorithms are the same as
+// container/heap's, so element movement — and therefore the pop order of
+// equal-priority elements — is identical to the boxed implementation.
+package heapx
+
+// Heap is a binary min-heap ordered by the less function given to New.
+// The zero value is not usable.
+type Heap[T any] struct {
+	s    []T
+	less func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less.
+func New[T any](less func(a, b T) bool) Heap[T] {
+	return Heap[T]{less: less}
+}
+
+// Init replaces the heap's backing slice with s and establishes the heap
+// invariant over it (container/heap.Init semantics). The slice is adopted,
+// not copied.
+func (h *Heap[T]) Init(s []T) {
+	h.s = s
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		h.down(i, len(s))
+	}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.s) }
+
+// Grow reserves capacity for at least n additional elements.
+func (h *Heap[T]) Grow(n int) {
+	if cap(h.s)-len(h.s) < n {
+		s := make([]T, len(h.s), len(h.s)+n)
+		copy(s, h.s)
+		h.s = s
+	}
+}
+
+// Push adds x to the heap.
+func (h *Heap[T]) Push(x T) {
+	h.s = append(h.s, x)
+	h.up(len(h.s) - 1)
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	n := len(h.s) - 1
+	h.s[0], h.s[n] = h.s[n], h.s[0]
+	h.down(0, n)
+	x := h.s[n]
+	var zero T
+	h.s[n] = zero // release references for GC
+	h.s = h.s[:n]
+	return x
+}
+
+// Peek returns the minimum element without removing it. It panics on an
+// empty heap.
+func (h *Heap[T]) Peek() T { return h.s[0] }
+
+// FixRoot restores the heap invariant after the minimum element's ordering
+// key changed in place (container/heap.Fix(h, 0) semantics) — the k-way
+// merge's advance-and-sift step.
+func (h *Heap[T]) FixRoot() { h.down(0, len(h.s)) }
+
+func (h *Heap[T]) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.less(h.s[j], h.s[i]) {
+			break
+		}
+		h.s[i], h.s[j] = h.s[j], h.s[i]
+		j = i
+	}
+}
+
+func (h *Heap[T]) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(h.s[j2], h.s[j1]) {
+			j = j2
+		}
+		if !h.less(h.s[j], h.s[i]) {
+			break
+		}
+		h.s[i], h.s[j] = h.s[j], h.s[i]
+		i = j
+	}
+}

@@ -1,0 +1,107 @@
+package heapx
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPushPopSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := New(func(a, b int) bool { return a < b })
+	var want []int
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(100)
+		h.Push(v)
+		want = append(want, v)
+	}
+	sort.Ints(want)
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after draining", h.Len())
+	}
+}
+
+func TestInitEstablishesInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := make([]int, 500)
+	for i := range s {
+		s[i] = rng.Intn(1000)
+	}
+	want := append([]int(nil), s...)
+	sort.Ints(want)
+	h := New(func(a, b int) bool { return a < b })
+	h.Init(s)
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestFixRootAfterKeyChange(t *testing.T) {
+	h := New(func(a, b *int) bool { return *a < *b })
+	vals := []int{5, 1, 9, 3}
+	for i := range vals {
+		h.Push(&vals[i])
+	}
+	// Advance the minimum in place, as the k-way merge does.
+	*h.Peek() = 100
+	h.FixRoot()
+	got := []int{*h.Pop(), *h.Pop(), *h.Pop(), *h.Pop()}
+	want := []int{3, 5, 9, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after FixRoot pops = %v, want %v", got, want)
+		}
+	}
+}
+
+// boxedInts adapts []int to container/heap for the movement-parity check.
+type boxedInts []int
+
+func (h boxedInts) Len() int            { return len(h) }
+func (h boxedInts) Less(i, j int) bool  { return h[i] < h[j] }
+func (h boxedInts) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedInts) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *boxedInts) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestMatchesContainerHeapLayout: the sift algorithms must move elements
+// exactly as container/heap does, so replacing the boxed heaps cannot
+// change the order ties are popped in anywhere in the repository.
+func TestMatchesContainerHeapLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := New(func(a, b int) bool { return a < b })
+	var b boxedInts
+	for i := 0; i < 2000; i++ {
+		switch {
+		case b.Len() == 0 || rng.Intn(3) > 0:
+			v := rng.Intn(50) // dense values force ties
+			g.Push(v)
+			heap.Push(&b, v)
+		default:
+			if gv, bv := g.Pop(), heap.Pop(&b).(int); gv != bv {
+				t.Fatalf("step %d: pop %d != container/heap %d", i, gv, bv)
+			}
+		}
+		if g.Len() != b.Len() {
+			t.Fatalf("length diverged: %d != %d", g.Len(), b.Len())
+		}
+		for j := 0; j < g.Len(); j++ {
+			if g.s[j] != b[j] {
+				t.Fatalf("internal layout diverged at %d: %v vs %v", j, g.s, b)
+			}
+		}
+	}
+}

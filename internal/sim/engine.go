@@ -15,9 +15,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
+
+	"vani/internal/heapx"
 )
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -25,7 +26,7 @@ import (
 type Engine struct {
 	now     time.Duration
 	seq     int64
-	queue   eventHeap
+	queue   heapx.Heap[event]
 	yield   chan struct{}
 	running bool
 	live    int // processes spawned and not yet finished
@@ -39,7 +40,19 @@ type Engine struct {
 
 // NewEngine returns an empty simulation with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{
+		yield: make(chan struct{}),
+		// Events order by (virtual time, insertion sequence) — a strict
+		// total order, so pop order is deterministic. The queue is a
+		// non-boxing generic heap: scheduling an event no longer allocates
+		// the interface box container/heap required.
+		queue: heapx.New(func(a, b event) bool {
+			if a.t != b.t {
+				return a.t < b.t
+			}
+			return a.seq < b.seq
+		}),
+	}
 }
 
 // Now returns the current virtual time.
@@ -52,31 +65,12 @@ type event struct {
 	fn  func() // otherwise run this callback
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
-}
-
 func (e *Engine) schedule(t time.Duration, p *Proc, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{t: t, seq: e.seq, p: p, fn: fn})
+	e.queue.Push(event{t: t, seq: e.seq, p: p, fn: fn})
 }
 
 // At schedules fn to run at absolute virtual time t. It may be called before
@@ -213,8 +207,8 @@ func (e *Engine) Run() time.Duration {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(event)
+	for e.queue.Len() > 0 {
+		ev := e.queue.Pop()
 		e.now = ev.t
 		e.EventsExecuted++
 		if ev.p != nil {
@@ -240,8 +234,8 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 && e.queue[0].t <= deadline {
-		ev := heap.Pop(&e.queue).(event)
+	for e.queue.Len() > 0 && e.queue.Peek().t <= deadline {
+		ev := e.queue.Pop()
 		e.now = ev.t
 		e.EventsExecuted++
 		if ev.p != nil {
@@ -273,7 +267,7 @@ func (e *Engine) Fail(err error) {
 func (e *Engine) Err() error { return e.err }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.Len() }
 
 // Live reports the number of spawned processes that have not finished.
 func (e *Engine) Live() int { return e.live }

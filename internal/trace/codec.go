@@ -10,11 +10,13 @@ import (
 	"time"
 )
 
-// The on-disk trace format is a compact row-major binary log, mirroring
-// Recorder's row-major native format that the paper converts to columnar
-// parquet before analysis (our colstore package plays the parquet role).
+// The original on-disk trace format (VANITRC1) is a compact row-major
+// binary log, mirroring Recorder's row-major native format that the paper
+// converts to columnar parquet before analysis (our colstore package plays
+// the parquet role). VANITRC2 (blockio.go) keeps the same header but
+// reshapes the event log into independently decodable blocks.
 //
-// Layout:
+// VANITRC1 layout:
 //
 //	magic "VANITRC1" (8 bytes)
 //	meta block   (string/varint fields)
@@ -32,7 +34,17 @@ var ErrBadFormat = errors.New("trace: bad format")
 type writer struct {
 	w   *bufio.Writer
 	buf [binary.MaxVarintLen64]byte
+	n   int64 // bytes written so far (for the v2 block index)
 	err error
+}
+
+func (w *writer) raw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	var n int
+	n, w.err = w.w.Write(b)
+	w.n += int64(n)
 }
 
 func (w *writer) uvarint(v uint64) {
@@ -41,6 +53,7 @@ func (w *writer) uvarint(v uint64) {
 	}
 	n := binary.PutUvarint(w.buf[:], v)
 	_, w.err = w.w.Write(w.buf[:n])
+	w.n += int64(n)
 }
 
 func (w *writer) varint(v int64) {
@@ -49,6 +62,7 @@ func (w *writer) varint(v int64) {
 	}
 	n := binary.PutVarint(w.buf[:], v)
 	_, w.err = w.w.Write(w.buf[:n])
+	w.n += int64(n)
 }
 
 func (w *writer) str(s string) {
@@ -57,14 +71,13 @@ func (w *writer) str(s string) {
 		return
 	}
 	_, w.err = w.w.WriteString(s)
+	w.n += int64(len(s))
 }
 
-// Write encodes the trace to w.
-func Write(out io.Writer, t *Trace) error {
-	w := &writer{w: bufio.NewWriterSize(out, 1<<16)}
-	if _, err := w.w.WriteString(magic); err != nil {
-		return err
-	}
+// writeHeader encodes the format-independent trace header: job metadata,
+// the app/file interning tables, and the dataset samples. Both VANITRC1
+// and VANITRC2 share this layout byte for byte.
+func writeHeader(w *writer, t *Trace) {
 	m := &t.Meta
 	w.str(m.Workload)
 	w.str(m.JobID)
@@ -102,6 +115,15 @@ func Write(out io.Writer, t *Trace) error {
 			w.uvarint(math.Float64bits(v))
 		}
 	}
+}
+
+// Write encodes the trace to w in the VANITRC1 format. New traces should
+// prefer WriteFormat with FormatV2; Write remains for compatibility with
+// existing logs and tools.
+func Write(out io.Writer, t *Trace) error {
+	w := &writer{w: bufio.NewWriterSize(out, 1<<16)}
+	w.raw([]byte(magic))
+	writeHeader(w, t)
 	w.uvarint(uint64(len(t.Events)))
 	var prevStart time.Duration
 	for i := range t.Events {
@@ -172,29 +194,9 @@ func (r *reader) intBounded(what string, max int64) int {
 	return int(v)
 }
 
-// Scanner streams a trace log: the header (metadata, interning tables,
-// samples) decodes eagerly, the event log decodes in caller-sized batches.
-// It is the out-of-core entry point of the analysis pipeline — a trace
-// never needs to materialize as one []Event to be analyzed; events flow
-// from disk straight into the columnar store chunk by chunk.
-type Scanner struct {
-	r         *reader
-	hdr       *Trace
-	remaining uint64
-	prevStart time.Duration
-}
-
-// NewScanner decodes the trace header from in and positions the scanner at
-// the first event. The reader must not be used by the caller afterwards.
-func NewScanner(in io.Reader) (*Scanner, error) {
-	r := &reader{r: bufio.NewReaderSize(in, 1<<16)}
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(r.r, head); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
-	}
+// readHeader decodes the format-independent trace header (the mirror of
+// writeHeader): meta, apps, files, and samples.
+func readHeader(r *reader) (*Trace, error) {
 	t := &Trace{}
 	m := &t.Meta
 	m.Workload = r.str()
@@ -247,6 +249,45 @@ func NewScanner(in io.Reader) (*Scanner, error) {
 		}
 		t.Samples = append(t.Samples, s)
 	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return t, nil
+}
+
+// Scanner streams a trace log: the header (metadata, interning tables,
+// samples) decodes eagerly, the event log decodes in caller-sized batches.
+// It is the out-of-core entry point of the analysis pipeline — a trace
+// never needs to materialize as one []Event to be analyzed; events flow
+// from disk straight into the columnar store chunk by chunk. The scanner
+// sniffs the magic and reads both VANITRC1 and VANITRC2 logs.
+type Scanner struct {
+	r         *reader
+	hdr       *Trace
+	remaining uint64
+	prevStart time.Duration // v1 cross-event delta state
+	v2        *v2stream     // non-nil when the log is VANITRC2
+}
+
+// NewScanner decodes the trace header from in and positions the scanner at
+// the first event. The reader must not be used by the caller afterwards.
+func NewScanner(in io.Reader) (*Scanner, error) {
+	r := &reader{r: bufio.NewReaderSize(in, 1<<16)}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.r, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	switch string(head) {
+	case magic:
+	case magicV2:
+		return newScannerV2(r)
+	default:
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
+	}
+	t, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
 	nEvents := r.uvarint()
 	if r.err == nil && nEvents > 1<<32 {
 		return nil, fmt.Errorf("%w: event count %d", ErrBadFormat, nEvents)
@@ -270,6 +311,9 @@ func (s *Scanner) Remaining() uint64 { return s.remaining }
 func (s *Scanner) Next(buf []Event) (int, error) {
 	if s.remaining == 0 {
 		return 0, io.EOF
+	}
+	if s.v2 != nil {
+		return s.nextV2(buf)
 	}
 	n := uint64(len(buf))
 	if n > s.remaining {

@@ -2,22 +2,32 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
-// FuzzRead hardens the trace decoder against corrupt input: any byte
-// stream must either decode cleanly or return an error — never panic,
-// hang, or allocate unboundedly.
-func FuzzRead(f *testing.F) {
-	// Seed with a valid trace, its truncations, and mutations.
+// fuzzSeedTrace builds the small valid trace the fuzz targets seed from.
+func fuzzSeedTrace(f *testing.F) *Trace {
+	f.Helper()
 	tr := NewTracer()
 	tr.SetMeta(Meta{Workload: "fuzz", Nodes: 2, Ranks: 4, PFSDir: "/p/gpfs1"})
 	id := tr.FileID("/p/gpfs1/f")
 	tr.AddSample("s", []float64{1, 2, 3})
 	tr.Record(Event{Op: OpWrite, File: id, Size: 4096, Start: 1, End: 2})
 	tr.Record(Event{Op: OpRead, File: id, Size: 128, Start: 3, End: 5})
+	return tr.Finish()
+}
+
+// FuzzRead hardens the trace decoder against corrupt input: any byte
+// stream must either decode cleanly or return an error — never panic,
+// hang, or allocate unboundedly. The scanner sniffs the magic, so this
+// target covers both the VANITRC1 stream and the VANITRC2 block decoder.
+func FuzzRead(f *testing.F) {
+	// Seed with valid traces in both formats, their truncations, and
+	// mutations.
+	seed := fuzzSeedTrace(f)
 	var buf bytes.Buffer
-	if err := Write(&buf, tr.Finish()); err != nil {
+	if err := Write(&buf, seed); err != nil {
 		f.Fatal(err)
 	}
 	valid := buf.Bytes()
@@ -31,15 +41,94 @@ func FuzzRead(f *testing.F) {
 	}
 	f.Add(mutated)
 
+	var buf2 bytes.Buffer
+	if err := WriteV2With(&buf2, seed, V2Options{BlockEvents: 1}); err != nil {
+		f.Fatal(err)
+	}
+	valid2 := buf2.Bytes()
+	f.Add(valid2)
+	f.Add(valid2[:len(valid2)/2])
+	f.Add(valid2[:len(valid2)-trailerLen])
+	f.Add([]byte(magicV2))
+	mutated2 := append([]byte(nil), valid2...)
+	if len(mutated2) > 20 {
+		mutated2[20] ^= 0xff
+	}
+	f.Add(mutated2)
+	var comp2 bytes.Buffer
+	if err := WriteV2With(&comp2, seed, V2Options{BlockEvents: 1, Compress: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(comp2.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		// Decoded traces must survive re-encoding.
+		// Decoded traces must survive re-encoding in both formats.
 		var out bytes.Buffer
 		if err := Write(&out, tr); err != nil {
 			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		out.Reset()
+		if err := WriteV2(&out, tr); err != nil {
+			t.Fatalf("v2 re-encode of decoded trace failed: %v", err)
+		}
+	})
+}
+
+// FuzzBlockReader hardens the seekable VANITRC2 path: corrupt blocks,
+// truncated footers, and arbitrary garbage must surface as ErrBadFormat —
+// never a panic, a hang, or an unbounded allocation — and whatever does
+// decode must round-trip.
+func FuzzBlockReader(f *testing.F) {
+	seed := fuzzSeedTrace(f)
+	for _, opt := range []V2Options{{BlockEvents: 1}, {BlockEvents: 1, Compress: true}, {}} {
+		var buf bytes.Buffer
+		if err := WriteV2With(&buf, seed, opt); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+		if len(valid) > trailerLen {
+			f.Add(valid[:len(valid)-trailerLen]) // footer trailer gone
+			f.Add(valid[:len(valid)-trailerLen/2])
+		}
+		mutated := append([]byte(nil), valid...)
+		if len(mutated) > 30 {
+			mutated[len(mutated)/2] ^= 0xff
+		}
+		f.Add(mutated)
+	}
+	f.Add([]byte(magicV2))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := NewBlockReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("open error %v does not wrap ErrBadFormat", err)
+			}
+			return
+		}
+		var cols Columns
+		var evs []Event
+		for k := 0; k < br.NumBlocks(); k++ {
+			evs, err = br.DecodeEvents(k, evs)
+			if err != nil {
+				if !errors.Is(err, ErrBadFormat) {
+					t.Fatalf("block %d decode error %v does not wrap ErrBadFormat", k, err)
+				}
+				return
+			}
+			if err := br.DecodeColumns(k, &cols); err != nil {
+				t.Fatalf("block %d: events decoded but columns failed: %v", k, err)
+			}
+			if cols.N != len(evs) {
+				t.Fatalf("block %d: columnar decode sees %d rows, row decode %d", k, cols.N, len(evs))
+			}
 		}
 	})
 }

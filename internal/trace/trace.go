@@ -12,10 +12,10 @@
 package trace
 
 import (
-	"container/heap"
 	"sort"
 	"time"
 
+	"vani/internal/heapx"
 	"vani/internal/parallel"
 )
 
@@ -427,26 +427,12 @@ type mergeCursor struct {
 	pos int
 }
 
-type mergeHeap []*mergeCursor
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	return eventBefore(&h[i].evs[h[i].pos], &h[j].evs[h[j].pos])
-}
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeCursor)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	*h = old[:n-1]
-	return c
-}
-
 // mergeShards k-way merges per-rank, canonically sorted event logs into the
 // global (Start, Rank, End) order. Heads of distinct shards always differ
 // in Rank, so the heap comparison is a strict total order and the merge
-// result is independent of shard arrival order.
+// result is independent of shard arrival order. The heap is a non-boxing
+// generic heap with container/heap's sift semantics, so the merge order is
+// byte-identical to the boxed implementation it replaced.
 func mergeShards(shards [][]Event, total int) []Event {
 	out := make([]Event, 0, total)
 	switch len(shards) {
@@ -455,21 +441,24 @@ func mergeShards(shards [][]Event, total int) []Event {
 	case 1:
 		return append(out, shards[0]...)
 	}
-	h := make(mergeHeap, 0, len(shards))
+	h := heapx.New(func(a, b *mergeCursor) bool {
+		return eventBefore(&a.evs[a.pos], &b.evs[b.pos])
+	})
+	cursors := make([]*mergeCursor, 0, len(shards))
 	for _, evs := range shards {
 		if len(evs) > 0 {
-			h = append(h, &mergeCursor{evs: evs})
+			cursors = append(cursors, &mergeCursor{evs: evs})
 		}
 	}
-	heap.Init(&h)
-	for len(h) > 0 {
-		c := h[0]
+	h.Init(cursors)
+	for h.Len() > 0 {
+		c := h.Peek()
 		out = append(out, c.evs[c.pos])
 		c.pos++
 		if c.pos == len(c.evs) {
-			heap.Pop(&h)
+			h.Pop()
 		} else {
-			heap.Fix(&h, 0)
+			h.FixRoot()
 		}
 	}
 	return out

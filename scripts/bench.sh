@@ -1,22 +1,35 @@
 #!/bin/sh
-# bench.sh — run the analysis-pipeline benchmarks and emit a JSON record.
+# bench.sh — run the analysis-pipeline and trace-codec benchmarks and emit
+# a JSON record.
 #
 # Usage: scripts/bench.sh [out.json]
 #
-# Captures the sequential-vs-parallel analyzer and columnarizer benchmarks
-# plus the row-major-vs-columnar ablation, and records GOMAXPROCS so
-# speedups are interpretable (a 1-core runner cannot show one).
+# Captures the sequential-vs-parallel analyzer and columnarizer benchmarks,
+# the row-major-vs-columnar ablation, and the VANITRC1-vs-VANITRC2 codec
+# throughput benches, with -benchmem so bytes/op and allocs/op land in the
+# record. BENCH_PR1.json was captured at GOMAXPROCS=1, which hid every
+# parallel speedup; this harness records GOMAXPROCS and refuses to publish
+# a single-core record from a multi-core machine unless explicitly allowed
+# with BENCH_ALLOW_SINGLE_CORE=1.
 set -eu
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 cd "$(dirname "$0")/.."
+
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+gomax="${GOMAXPROCS:-$ncpu}"
+if [ "$ncpu" -gt 1 ] && [ "$gomax" -le 1 ] && [ "${BENCH_ALLOW_SINGLE_CORE:-0}" != "1" ]; then
+    echo "bench.sh: GOMAXPROCS=$gomax on a $ncpu-core machine hides parallel speedups." >&2
+    echo "bench.sh: unset GOMAXPROCS, or set BENCH_ALLOW_SINGLE_CORE=1 to record anyway." >&2
+    exit 1
+fi
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkAnalyzerParallelism|BenchmarkColumnarize|BenchmarkAblation_ColumnarAnalysis' \
-    -benchtime 10x -timeout 20m . | tee "$tmp"
+    -bench 'BenchmarkAnalyzerParallelism|BenchmarkColumnarize|BenchmarkAblation_ColumnarAnalysis|BenchmarkTraceCodec|BenchmarkTraceEncode|BenchmarkTraceDecodeToTable' \
+    -benchmem -benchtime 10x -timeout 30m . | tee "$tmp"
 
 go run ./scripts/benchjson "$tmp" > "$out"
 echo "wrote $out"

@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` output into the JSON bench
-// record scripts/bench.sh publishes (BENCH_PR1.json): one entry per
-// benchmark with ns/op, plus environment fields (GOMAXPROCS, CPU count,
-// go version) and the derived sequential/parallel analyzer speedup.
+// record scripts/bench.sh publishes (BENCH_PR2.json): one entry per
+// benchmark with ns/op and any extra metric pairs the bench emits (MB/s
+// from SetBytes, B/op and allocs/op from -benchmem, custom ReportMetric
+// units), plus environment fields (GOMAXPROCS, CPU count, go version) and
+// the derived analyzer and codec speedups.
 package main
 
 import (
@@ -18,6 +20,13 @@ type result struct {
 	Name string  `json:"name"`
 	N    int64   `json:"iterations"`
 	NsOp float64 `json:"ns_per_op"`
+	// Standard throughput/allocation metrics, present when the bench
+	// calls SetBytes / runs under -benchmem.
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any other ReportMetric units (events/op, speedup, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type record struct {
@@ -27,8 +36,13 @@ type record struct {
 	Note       string   `json:"note"`
 	Results    []result `json:"results"`
 	// AnalyzerSpeedup is seq-ns/par-ns of BenchmarkAnalyzerParallelism —
-	// the tentpole's headline number. Meaningful only when gomaxprocs > 1.
+	// PR1's headline number. Meaningful only when gomaxprocs > 1.
 	AnalyzerSpeedup float64 `json:"analyzer_speedup_seq_over_par"`
+	// DecodeSpeedup is v1-serial-ns/v2-parallel-ns of
+	// BenchmarkTraceDecodeToTable — the VANITRC2 headline number: how much
+	// faster log bytes turn into analyzable column chunks under the block
+	// format's parallel decode than under the v1 serial stream.
+	DecodeSpeedup float64 `json:"decode_speedup_v1_over_v2par"`
 }
 
 func main() {
@@ -47,16 +61,17 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
-		Note: "analyzer_speedup is wall-clock seq/par of the fused chunk-parallel " +
-			"analysis; on a single-core runner (gomaxprocs=1) the parallel path " +
-			"degenerates to sequential and the ratio stays ~1 by design " +
-			"(outputs are bit-identical at every parallelism).",
+		Note: "speedups are wall-clock ratios of paths with bit-identical outputs; " +
+			"on a single-core runner (gomaxprocs=1) parallel paths degenerate to " +
+			"sequential, so analyzer_speedup stays ~1 by design while " +
+			"decode_speedup still shows the v2 block decoder's contiguous-buffer " +
+			"advantage over the v1 byte-at-a-time stream.",
 	}
-	var seqNs, parNs float64
+	var seqNs, parNs, v1Ns, v2ParNs float64
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		// Benchmark lines: name iterations ns/op "ns/op" [extra metrics...]
+		// Benchmark lines: name iterations ns/op "ns/op" [value unit]...
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
 			continue
 		}
@@ -65,12 +80,36 @@ func main() {
 		if err1 != nil || err2 != nil {
 			continue
 		}
-		rec.Results = append(rec.Results, result{Name: fields[0], N: n, NsOp: ns})
-		if strings.HasPrefix(fields[0], "BenchmarkAnalyzerParallelism/seq") {
-			seqNs = ns
+		r := result{Name: fields[0], N: n, NsOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "MB/s":
+				r.MBPerSec = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[fields[i+1]] = v
+			}
 		}
-		if strings.HasPrefix(fields[0], "BenchmarkAnalyzerParallelism/par") {
+		rec.Results = append(rec.Results, r)
+		switch {
+		case strings.HasPrefix(r.Name, "BenchmarkAnalyzerParallelism/seq"):
+			seqNs = ns
+		case strings.HasPrefix(r.Name, "BenchmarkAnalyzerParallelism/par"):
 			parNs = ns
+		case strings.HasPrefix(r.Name, "BenchmarkTraceDecodeToTable/v1-serial"):
+			v1Ns = ns
+		case strings.HasPrefix(r.Name, "BenchmarkTraceDecodeToTable/v2-parallel"):
+			v2ParNs = ns
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -79,6 +118,9 @@ func main() {
 	}
 	if seqNs > 0 && parNs > 0 {
 		rec.AnalyzerSpeedup = seqNs / parNs
+	}
+	if v1Ns > 0 && v2ParNs > 0 {
+		rec.DecodeSpeedup = v1Ns / v2ParNs
 	}
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -119,12 +119,43 @@ func CharacterizeFile(path string, cfg *StorageConfig) (*Characterization, error
 }
 
 // CharacterizeFileWith is CharacterizeFile with explicit analyzer options.
+// VANITRC2 logs decode block-parallel through the footer index straight
+// into column chunks; VANITRC1 logs stream through the serial scanner.
+// Both paths produce the identical characterization.
 func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, trace.ErrBadFormat)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if format, ok := trace.SniffMagic(head[:]); ok && format == trace.FormatV2 {
+		info, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		br, err := trace.NewBlockReader(f, info.Size())
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		t0 := time.Now()
+		tb, err := colstore.FromBlocks(br, opt.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		if opt.Stats != nil {
+			opt.Stats.Columnarize = time.Since(t0)
+		}
+		return core.AnalyzeTable(br.Header(), tb, opt), nil
+	}
+
 	sc, err := trace.NewScanner(f)
 	if err != nil {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
@@ -215,10 +246,30 @@ func FromYAML(data []byte) (*Characterization, error) {
 	return &c, nil
 }
 
-// WriteTrace encodes a trace to w in the binary log format.
-func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
+// TraceFormat selects an on-disk trace log format version.
+type TraceFormat = trace.Format
 
-// ReadTrace decodes a trace written by WriteTrace.
+// Supported trace formats: VANITRC1 (serial stream) and VANITRC2
+// (block-structured, parallel encode/decode).
+const (
+	TraceFormatV1 = trace.FormatV1
+	TraceFormatV2 = trace.FormatV2
+)
+
+// ParseTraceFormat parses a flag-style format name ("v1", "v2").
+func ParseTraceFormat(s string) (TraceFormat, error) { return trace.ParseFormat(s) }
+
+// WriteTrace encodes a trace to w in the default on-disk format (VANITRC2,
+// the block-structured log). Use WriteTraceFormat for an explicit version.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.WriteV2(w, tr) }
+
+// WriteTraceFormat encodes a trace to w in the requested format.
+func WriteTraceFormat(w io.Writer, tr *Trace, f TraceFormat) error {
+	return trace.WriteFormat(w, tr, f)
+}
+
+// ReadTrace decodes a trace written by WriteTrace or WriteTraceFormat; the
+// format is sniffed from the magic.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
 
 // CaseStudy is the outcome of a baseline-vs-optimized comparison, the
