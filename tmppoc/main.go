@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+
+	"vani/internal/trace"
+)
+
+func main() {
+	// Valid empty v2 trace to harvest the header bytes.
+	var buf bytes.Buffer
+	if err := trace.WriteV2(&buf, &trace.Trace{}); err != nil {
+		panic(err)
+	}
+	valid := buf.Bytes()
+	// Tail of an empty trace: be(3) + nEvents(1) + nBlocks(1) + footer count(1) + trailer(16)
+	header := valid[8 : len(valid)-22]
+
+	crafted := []byte("VANITRC2")
+	crafted = append(crafted, header...)
+	crafted = binary.AppendUvarint(crafted, 1)       // blockEvents = 1
+	crafted = binary.AppendUvarint(crafted, 1<<32)   // nEvents = 2^32
+	crafted = binary.AppendUvarint(crafted, 1<<32)   // nBlocks = 2^32
+	footStart := len(crafted)
+	crafted = binary.AppendUvarint(crafted, 1<<32) // footer block count
+	footLen := len(crafted) - footStart
+	var trailer [16]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(footLen))
+	copy(trailer[8:], "VANIIDX2")
+	crafted = append(crafted, trailer[:]...)
+
+	fmt.Printf("crafted file: %d bytes\n", len(crafted))
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	_, err := trace.NewBlockReader(bytes.NewReader(crafted), int64(len(crafted)))
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	fmt.Printf("NewBlockReader err: %v\n", err)
+	fmt.Printf("heap allocated during call: %d MB\n", (m1.TotalAlloc-m0.TotalAlloc)>>20)
+}
