@@ -643,6 +643,77 @@ func BenchmarkTraceDecodeToTable(b *testing.B) {
 	}
 }
 
+// BenchmarkScanPlanner measures what predicate pushdown buys on a windowed
+// scan of a block log. All cases process the same encoded log (SetBytes, so
+// MB/s compares directly): "full" materializes every row and column;
+// "window25-fullscan" decodes everything and filters in memory (the
+// no-pushdown baseline); "window25-pruned" pushes the window down to the
+// footer index so ~3/4 of the blocks are never decoded;
+// "window25-projected" additionally declares a two-column projection and
+// skips materializing the other nine.
+func BenchmarkScanPlanner(b *testing.B) {
+	codecFixtures(b)
+	end := codecTrace.Events[len(codecTrace.Events)-1].Start
+	window := trace.Filter{From: end / 4, To: end / 2}
+	open := func() *trace.BlockReader {
+		br, err := trace.NewBlockReader(bytes.NewReader(codecV2), int64(len(codecV2)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return br
+	}
+	plan := func(spec colstore.ScanSpec, want trace.ColSet) (*colstore.Table, error) {
+		tb, err := colstore.FromBlocksSpec(open(), 0, spec, nil)
+		if err != nil {
+			return nil, err
+		}
+		if want != 0 {
+			if err := tb.Materialize(0, want); err != nil {
+				return nil, err
+			}
+		}
+		return tb, nil
+	}
+	wantRows := len(trace.FilterEvents(codecTrace.Events, window))
+	for _, bench := range []struct {
+		name string
+		rows int
+		scan func() (*colstore.Table, error)
+	}{
+		{"full", len(codecTrace.Events), func() (*colstore.Table, error) {
+			return plan(colstore.ScanSpec{}, trace.AllCols)
+		}},
+		{"window25-fullscan", wantRows, func() (*colstore.Table, error) {
+			tr, err := trace.Read(bytes.NewReader(codecV2))
+			if err != nil {
+				return nil, err
+			}
+			return colstore.FromEvents(trace.FilterEvents(tr.Events, window), 0), nil
+		}},
+		{"window25-pruned", wantRows, func() (*colstore.Table, error) {
+			return plan(colstore.ScanSpec{Filter: window}, trace.AllCols)
+		}},
+		{"window25-projected", wantRows, func() (*colstore.Table, error) {
+			return plan(colstore.ScanSpec{Filter: window, Cols: trace.ColStart | trace.ColSize}, 0)
+		}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.SetBytes(int64(len(codecV2)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb, err := bench.scan()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tb.Len() != bench.rows {
+					b.Fatalf("scanned %d rows, want %d", tb.Len(), bench.rows)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAnalyzer measures full characterization of a mid-sized trace.
 func BenchmarkAnalyzer(b *testing.B) {
 	_, _ = allRuns(b)
@@ -682,7 +753,10 @@ func BenchmarkAnalyzerParallelism(b *testing.B) {
 			opt.Parallelism = bench.par
 			b.ReportMetric(float64(tb.Len()), "rows")
 			for i := 0; i < b.N; i++ {
-				c := core.AnalyzeTable(res.Trace, tb, opt)
+				c, err := core.AnalyzeTable(res.Trace, tb, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if c.Workflow.IOBytes == 0 {
 					b.Fatal("empty analysis")
 				}

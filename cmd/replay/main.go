@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vani"
+	"vani/internal/cliutil"
 	"vani/internal/replay"
 	"vani/internal/storage"
 )
@@ -25,19 +26,21 @@ func main() {
 	think := flag.Bool("think", true, "preserve recorded think time between calls")
 	convert := flag.String("convert", "", "rewrite the loaded trace to this path (in -format) before replaying")
 	format := flag.String("format", "v2", "trace format for -convert: v2 (block-structured) or v1")
+	ff := cliutil.RegisterFilterFlags(nil)
 	flag.Parse()
 
 	if *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "usage: replay -t <trace> [-sweep stripe|cache] [-think=false] [-convert out.trc -format v2]")
+		fmt.Fprintln(os.Stderr, "usage: replay -t <trace> [-window from:to] [-ranks 0-63] [-levels posix] [-ops data] [-sweep stripe|cache] [-think=false] [-convert out.trc -format v2]")
 		os.Exit(2)
 	}
-	f, err := os.Open(*traceFile)
+	filter, err := ff.Filter()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	tr, err := vani.ReadTrace(f)
-	f.Close()
+	// The filter applies to the loaded events, so -convert extracts the
+	// selected slice (e.g. a time window) into a standalone trace file.
+	tr, err := vani.ReadTraceFiltered(*traceFile, filter)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

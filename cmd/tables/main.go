@@ -95,6 +95,9 @@ func main() {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "    stages: trace-merge=%s columnarize=%s analyze=%s\n",
 				timings.TraceMerge, timings.Columnarize, timings.Analyze)
+			s := timings.Scan
+			fmt.Fprintf(os.Stderr, "    scan: blocks=%d pruned=%d rows=%d kept=%d payload=%dB decoded=%dB\n",
+				s.BlocksTotal, s.BlocksPruned, s.RowsTotal, s.RowsKept, s.PayloadBytes, s.DecodedBytes)
 		}
 		cols = append(cols, report.Named{Name: display(name), C: c})
 		if *traceDir != "" {

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"vani"
+	"vani/internal/cliutil"
 	"vani/internal/report"
 	"vani/internal/workloads"
 	"vani/internal/yamlenc"
@@ -28,11 +29,17 @@ func main() {
 	rewrite := flag.String("rewrite", "", "transcode the input trace to this path (in -format) before analyzing")
 	format := flag.String("format", "v2", "trace format for -rewrite: v2 (block-structured) or v1")
 	par := flag.Int("par", 0, "analyzer parallelism (0 = GOMAXPROCS, 1 = sequential)")
-	verbose := flag.Bool("v", false, "print per-stage pipeline timings")
+	verbose := flag.Bool("v", false, "print per-stage pipeline timings and scan counters")
+	ff := cliutil.RegisterFilterFlags(nil)
 	flag.Parse()
 
 	if *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "usage: vani -t <trace> [-tables] [-figure] [-advise] [-yaml out.yaml] [-rewrite out.trc -format v2]")
+		fmt.Fprintln(os.Stderr, "usage: vani -t <trace> [-window from:to] [-ranks 0-63] [-levels posix] [-ops data] [-tables] [-figure] [-advise] [-yaml out.yaml] [-rewrite out.trc -format v2]")
+		os.Exit(2)
+	}
+	filter, err := ff.Filter()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *rewrite != "" {
@@ -53,6 +60,7 @@ func main() {
 	opt := vani.DefaultAnalyzerOptions()
 	opt.Storage = &cfg
 	opt.Parallelism = *par
+	opt.Filter = filter
 	var timings vani.AnalyzerTimings
 	opt.Stats = &timings
 	c, err := vani.CharacterizeFileWith(*traceFile, opt)
@@ -63,6 +71,9 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "stages: columnarize=%s analyze=%s\n",
 			timings.Columnarize, timings.Analyze)
+		s := timings.Scan
+		fmt.Fprintf(os.Stderr, "scan: blocks=%d pruned=%d rows=%d kept=%d payload=%dB decoded=%dB\n",
+			s.BlocksTotal, s.BlocksPruned, s.RowsTotal, s.RowsKept, s.PayloadBytes, s.DecodedBytes)
 	}
 
 	if *tables {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"vani/internal/trace"
 )
@@ -153,6 +154,199 @@ func TestFormatEquivalence(t *testing.T) {
 					t.Errorf("%s: %s characterization differs from in-memory (par=%d)", name, variant, par)
 				}
 			}
+		}
+	}
+}
+
+// TestFilterPushdownEquivalence is the scan planner's contract: a filtered
+// characterization read off disk — with block pruning, projection, and lazy
+// materialization all engaged — is byte-identical to filtering the full
+// decode in memory, for every trace layout (VANITRC1 stream, legacy
+// row-layout v2.0 footer, columnar v2.1 footer raw and compressed,
+// non-default block geometry) and at sequential and parallel decode.
+func TestFilterPushdownEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New("hacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, equivSpec(w, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := res.Trace.Events[len(res.Trace.Events)-1].Start
+	filters := map[string]TraceFilter{
+		"window":   {From: end / 4, To: end / 2},
+		"ranks":    {Ranks: []int32{0, 1, 2, 3}},
+		"levels":   {Levels: []trace.Level{trace.LevelPosix}},
+		"ops":      {Ops: OpClassData},
+		"combined": {From: end / 8, To: 3 * end / 4, Ranks: []int32{0, 2, 4, 6, 8, 10}, Ops: OpClassIO},
+		"nothing":  {From: 100 * end, To: 200 * end},
+	}
+	variants := map[string]func(*os.File) error{
+		"v1":        func(f *os.File) error { return WriteTraceFormat(f, res.Trace, TraceFormatV1) },
+		"v2":        func(f *os.File) error { return WriteTraceFormat(f, res.Trace, TraceFormatV2) },
+		"v2flate":   func(f *os.File) error { return trace.WriteV2With(f, res.Trace, trace.V2Options{Compress: true}) },
+		"v2row":     func(f *os.File) error { return trace.WriteV2With(f, res.Trace, trace.V2Options{RowLayout: true}) },
+		"v2blk1000": func(f *os.File) error { return trace.WriteV2With(f, res.Trace, trace.V2Options{BlockEvents: 1000}) },
+	}
+	cfg := res.Spec.Storage
+	paths := map[string]string{}
+	for variant, write := range variants {
+		path := filepath.Join(dir, variant+".trc")
+		out, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(out); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths[variant] = path
+	}
+	for fname, filter := range filters {
+		// Reference: in-memory analysis of the filtered event log.
+		refOpt := DefaultAnalyzerOptions()
+		refOpt.Storage = &cfg
+		refOpt.Filter = filter
+		want := ToYAML(CharacterizeWith(res, refOpt))
+		for variant, path := range paths {
+			for _, par := range []int{1, 4} {
+				opt := DefaultAnalyzerOptions()
+				opt.Storage = &cfg
+				opt.Parallelism = par
+				opt.Filter = filter
+				var timings AnalyzerTimings
+				opt.Stats = &timings
+				c, err := CharacterizeFileWith(path, opt)
+				if err != nil {
+					t.Fatalf("%s %s par=%d: %v", fname, variant, par, err)
+				}
+				if got := ToYAML(c); !bytes.Equal(want, got) {
+					t.Errorf("%s: %s characterization differs from in-memory filtering (par=%d)",
+						fname, variant, par)
+				}
+				s := timings.Scan
+				if s.RowsKept > s.RowsTotal || s.BlocksPruned > s.BlocksTotal || s.DecodedBytes > s.PayloadBytes {
+					t.Errorf("%s %s: inconsistent scan counters %+v", fname, variant, s)
+				}
+			}
+		}
+	}
+}
+
+// TestScanCountersReported: a narrow window over a multi-block v2 log
+// reports pruned blocks and a decoded-bytes figure well under the full
+// payload through AnalyzerOptions.Stats.
+func TestScanCountersReported(t *testing.T) {
+	tr := syntheticTrace(3*16384 + 100)
+	path := filepath.Join(t.TempDir(), "big.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	end := tr.Events[len(tr.Events)-1].Start
+
+	full := DefaultAnalyzerOptions()
+	var fullStats AnalyzerTimings
+	full.Stats = &fullStats
+	if _, err := CharacterizeFileWith(path, full); err != nil {
+		t.Fatal(err)
+	}
+	if fullStats.Scan.BlocksTotal < 4 || fullStats.Scan.BlocksPruned != 0 {
+		t.Fatalf("full scan counters: %+v", fullStats.Scan)
+	}
+
+	opt := DefaultAnalyzerOptions()
+	opt.Filter = TraceFilter{From: end / 4, To: end / 2}
+	var timings AnalyzerTimings
+	opt.Stats = &timings
+	if _, err := CharacterizeFileWith(path, opt); err != nil {
+		t.Fatal(err)
+	}
+	s := timings.Scan
+	if s.BlocksPruned == 0 {
+		t.Error("windowed scan pruned no blocks")
+	}
+	if s.DecodedBytes >= fullStats.Scan.DecodedBytes {
+		t.Errorf("windowed scan decoded %d bytes, full scan %d: pushdown saved nothing",
+			s.DecodedBytes, fullStats.Scan.DecodedBytes)
+	}
+	if s.RowsKept >= s.RowsTotal {
+		t.Errorf("windowed scan kept %d of %d read rows", s.RowsKept, s.RowsTotal)
+	}
+}
+
+// syntheticTrace builds a time-ordered multi-block trace without running a
+// workload: enough rows to span several VANITRC2 blocks.
+func syntheticTrace(n int) *Trace {
+	tr := trace.NewTracer()
+	tr.SetMeta(trace.Meta{Workload: "synthetic", Nodes: 4, Ranks: 16, PFSDir: "/p/gpfs1"})
+	file := tr.FileID("/p/gpfs1/data")
+	for i := 0; i < n; i++ {
+		start := time.Duration(i) * time.Microsecond
+		op := trace.OpWrite
+		if i%3 == 0 {
+			op = trace.OpRead
+		}
+		tr.Record(trace.Event{
+			Level: trace.LevelPosix, Op: op, Rank: int32(i % 16),
+			File: file, Offset: int64(i) * 4096, Size: 4096,
+			Start: start, End: start + time.Microsecond,
+		})
+	}
+	return tr.Finish()
+}
+
+// TestReadTraceFiltered: the filtered loader equals filtering a full load,
+// for both formats, and prunes nothing it should keep.
+func TestReadTraceFiltered(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New("ior")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, equivSpec(w, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := res.Trace.Events[len(res.Trace.Events)-1].Start
+	filter := TraceFilter{From: end / 3, To: 2 * end / 3, Ops: OpClassData}
+	want := trace.FilterEvents(res.Trace.Events, filter)
+	for _, tf := range []TraceFormat{TraceFormatV1, TraceFormatV2} {
+		path := filepath.Join(dir, tf.String()+".trc")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTraceFormat(f, res.Trace, tf); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTraceFiltered(path, filter)
+		if err != nil {
+			t.Fatalf("%v: %v", tf, err)
+		}
+		if len(got.Events) != len(want) {
+			t.Fatalf("%v: loaded %d events, want %d", tf, len(got.Events), len(want))
+		}
+		for i := range want {
+			if got.Events[i] != want[i] {
+				t.Fatalf("%v: event %d differs", tf, i)
+			}
+		}
+		if got.Meta.Workload != res.Trace.Meta.Workload {
+			t.Errorf("%v: header metadata lost", tf)
 		}
 	}
 }

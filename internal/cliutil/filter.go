@@ -1,0 +1,54 @@
+// Package cliutil holds flag plumbing shared by the command-line tools:
+// the -window/-ranks/-levels/-ops quartet that compiles into a
+// trace.Filter for scan-plan pushdown.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"vani/internal/trace"
+)
+
+// FilterFlags registers the scan-filter flags on fs and remembers their
+// values until Filter is called after flag parsing.
+type FilterFlags struct {
+	window *string
+	ranks  *string
+	levels *string
+	ops    *string
+}
+
+// RegisterFilterFlags adds -window, -ranks, -levels and -ops to fs
+// (flag.CommandLine when nil).
+func RegisterFilterFlags(fs *flag.FlagSet) *FilterFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return &FilterFlags{
+		window: fs.String("window", "", "restrict to events starting in this window, \"from:to\" durations (e.g. 2s:10s; either side may be empty)"),
+		ranks:  fs.String("ranks", "", "restrict to these ranks, e.g. \"0,3,8-15\""),
+		levels: fs.String("levels", "", "restrict to these layers: app, middleware, posix, compute"),
+		ops:    fs.String("ops", "all", "restrict to an operation class: data, meta, io or all"),
+	}
+}
+
+// Filter compiles the parsed flag values into a trace.Filter. Call after
+// fs.Parse.
+func (ff *FilterFlags) Filter() (trace.Filter, error) {
+	var f trace.Filter
+	var err error
+	if f.From, f.To, err = trace.ParseWindow(*ff.window); err != nil {
+		return trace.Filter{}, fmt.Errorf("-window: %w", err)
+	}
+	if f.Ranks, err = trace.ParseRanks(*ff.ranks); err != nil {
+		return trace.Filter{}, fmt.Errorf("-ranks: %w", err)
+	}
+	if f.Levels, err = trace.ParseLevels(*ff.levels); err != nil {
+		return trace.Filter{}, fmt.Errorf("-levels: %w", err)
+	}
+	if f.Ops, err = trace.ParseOpClass(*ff.ops); err != nil {
+		return trace.Filter{}, fmt.Errorf("-ops: %w", err)
+	}
+	return f, nil
+}

@@ -32,9 +32,12 @@ const (
 	chunkMask = ChunkRows - 1
 )
 
-// Chunk is one fixed-size block of rows with contiguous per-column storage.
-// All column slices have length N; Base is the global index of row 0, so
-// global row i lives at chunk index i-Base.
+// Chunk is one block of rows with contiguous per-column storage. Base is
+// the global index of row 0, so global row i lives at chunk index i-Base.
+// Chunks built eagerly hold every column at length N; chunks built by
+// FromBlocksSpec materialize columns on demand — a column slice is nil
+// until Require (or Table.Materialize) decodes it, so kernels must Require
+// the columns they read before touching a planned table's slices.
 type Chunk struct {
 	Base int
 	N    int
@@ -50,6 +53,8 @@ type Chunk struct {
 	Size   []int64
 	Start  []int64 // nanoseconds
 	End    []int64 // nanoseconds
+
+	lazy *lazySrc // undecoded remainder; nil once fully materialized
 }
 
 func newChunk(base, rows int) *Chunk {
@@ -99,10 +104,14 @@ func (c *Chunk) copyRow(k int, src *Chunk, j int) {
 	c.End[k] = src.End[j]
 }
 
-// Table is a chunked column-major event table.
+// Table is a chunked column-major event table. Eagerly built tables have
+// uniform geometry (every chunk but the last holds ChunkRows rows); tables
+// produced by a filtering scan may hold irregular chunks, located by
+// binary search instead of shift/mask.
 type Table struct {
-	n      int
-	chunks []*Chunk
+	n       int
+	chunks  []*Chunk
+	uniform bool // chunks[k].Base == k<<chunkShift for all k
 }
 
 // Len returns the number of rows.
@@ -114,9 +123,24 @@ func (t *Table) NumChunks() int { return len(t.chunks) }
 // ChunkAt returns chunk k.
 func (t *Table) ChunkAt(k int) *Chunk { return t.chunks[k] }
 
-// loc resolves a global row index to its chunk and in-chunk index.
+// loc resolves a global row index to its chunk and in-chunk index: a shift
+// and mask for uniform geometry, a binary search over chunk bases for the
+// irregular chunks a filtering scan produces.
 func (t *Table) loc(i int) (*Chunk, int) {
-	return t.chunks[i>>chunkShift], i & chunkMask
+	if t.uniform {
+		return t.chunks[i>>chunkShift], i & chunkMask
+	}
+	lo, hi := 0, len(t.chunks)
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if t.chunks[mid].Base <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c := t.chunks[lo-1]
+	return c, i - c.Base
 }
 
 // Per-row accessors. Scan kernels iterate chunks directly; these exist for
@@ -180,7 +204,7 @@ type Builder struct {
 }
 
 // NewBuilder returns an empty table builder.
-func NewBuilder() *Builder { return &Builder{t: &Table{}} }
+func NewBuilder() *Builder { return &Builder{t: &Table{uniform: true}} }
 
 // Append adds one event as the next row.
 func (b *Builder) Append(ev *trace.Event) {
@@ -240,7 +264,7 @@ func FromTrace(t *trace.Trace) *Table { return FromEvents(t.Events, 0) }
 // workers (par <= 0 means GOMAXPROCS).
 func FromEvents(evs []trace.Event, par int) *Table {
 	n := len(evs)
-	tb := &Table{n: n}
+	tb := &Table{n: n, uniform: true}
 	nchunks := (n + ChunkRows - 1) / ChunkRows
 	tb.chunks = make([]*Chunk, nchunks)
 	parallel.ForEach(par, nchunks, func(k int) {
@@ -310,7 +334,7 @@ func FromBlocks(br *trace.BlockReader, par int) (*Table, error) {
 			return nil, err
 		}
 	}
-	t := &Table{chunks: chunks}
+	t := &Table{chunks: chunks, uniform: true}
 	for _, c := range chunks {
 		t.n += c.N
 	}
@@ -340,7 +364,7 @@ func (t *Table) Select(pred Pred) *Table {
 
 // Take materializes the given rows into a new table.
 func (t *Table) Take(idx []int) *Table {
-	out := &Table{n: len(idx)}
+	out := &Table{n: len(idx), uniform: true}
 	for len(idx) > 0 {
 		rows := len(idx)
 		if rows > ChunkRows {

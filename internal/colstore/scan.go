@@ -1,0 +1,396 @@
+package colstore
+
+// The scan planner's middle layer: an analysis declares the columns its
+// kernels touch and the predicates it can push (ScanSpec); FromBlocksSpec
+// drives that plan down into the VANITRC2 block index — skipping whole
+// blocks the footer statistics rule out, decoding only the column segments
+// the plan names, and applying the residual row predicate exactly — and
+// builds a table whose chunks materialize further columns lazily, the first
+// time a kernel asks. ScanStats counts what the plan saved so pruning
+// effectiveness is observable, not inferred.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vani/internal/parallel"
+	"vani/internal/trace"
+)
+
+// ScanSpec is the scan plan an analysis declares before touching data: the
+// columns its kernels will read up front and the predicates the reader may
+// push down. Cols == 0 defers every column — chunks hold only the block's
+// undecoded payload until a kernel Requires a column. The zero value is a
+// fully lazy, unfiltered scan.
+type ScanSpec struct {
+	// Cols are the columns to materialize eagerly during the scan (the
+	// filter's own columns are always decoded). 0 = decode on demand.
+	Cols trace.ColSet
+	// Filter is pushed down to the block index (pruning) and applied
+	// per-row afterwards, so the resulting table is row-identical to
+	// filtering a full decode in memory.
+	Filter trace.Filter
+}
+
+// ScanStats counts what a planned scan actually did. Counters are atomic:
+// one ScanStats is shared by the parallel scan workers and by later lazy
+// materializations of the resulting table's chunks.
+type ScanStats struct {
+	BlocksTotal  atomic.Int64 // blocks in the log
+	BlocksPruned atomic.Int64 // blocks skipped via footer statistics
+	RowsTotal    atomic.Int64 // rows in blocks that were read
+	RowsKept     atomic.Int64 // rows surviving the residual filter
+	PayloadBytes atomic.Int64 // unwrapped payload bytes of blocks read
+	DecodedBytes atomic.Int64 // payload bytes actually varint-decoded
+}
+
+// ScanCounters is a plain-value snapshot of ScanStats, suitable for
+// embedding in reports and timings.
+type ScanCounters struct {
+	BlocksTotal  int64
+	BlocksPruned int64
+	RowsTotal    int64
+	RowsKept     int64
+	PayloadBytes int64
+	DecodedBytes int64
+}
+
+// Snapshot reads every counter.
+func (s *ScanStats) Snapshot() ScanCounters {
+	return ScanCounters{
+		BlocksTotal:  s.BlocksTotal.Load(),
+		BlocksPruned: s.BlocksPruned.Load(),
+		RowsTotal:    s.RowsTotal.Load(),
+		RowsKept:     s.RowsKept.Load(),
+		PayloadBytes: s.PayloadBytes.Load(),
+		DecodedBytes: s.DecodedBytes.Load(),
+	}
+}
+
+// lazySrc is the undecoded remainder of a chunk built by FromBlocksSpec:
+// the block payload, the row selection the residual filter chose, and the
+// set of columns already materialized. The mutex serializes Require calls
+// so concurrent kernels may demand columns of the same chunk safely.
+type lazySrc struct {
+	mu    sync.Mutex
+	bd    *trace.BlockData
+	sel   []int32 // block row indices kept by the filter; nil = all rows
+	have  trace.ColSet
+	stats *ScanStats
+}
+
+// Require materializes the requested columns of the chunk, decoding any
+// missing segments from the retained block payload. It is a no-op for
+// eagerly built chunks and for columns already present. Safe for concurrent
+// use.
+func (c *Chunk) Require(want trace.ColSet) error {
+	l := c.lazy
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	missing := want &^ l.have
+	if missing == 0 {
+		return nil
+	}
+	var cols trace.Columns
+	decoded, err := l.bd.Decode(missing, &cols)
+	if err != nil {
+		return err
+	}
+	got := missing
+	if !l.bd.Projectable() {
+		got = trace.AllCols &^ l.have // fallback decode fills everything
+	}
+	c.adopt(&cols, l.sel, got)
+	l.have |= got
+	if l.stats != nil {
+		l.stats.DecodedBytes.Add(decoded)
+	}
+	if l.have == trace.AllCols {
+		l.bd = nil // payload no longer needed; let it go
+	}
+	return nil
+}
+
+// Materialize decodes the given columns for every chunk, fanning out over
+// up to par workers. Eager tables return immediately.
+func (t *Table) Materialize(par int, want trace.ColSet) error {
+	errs := make([]error, len(t.chunks))
+	parallel.ForEach(par, len(t.chunks), func(k int) {
+		errs[k] = t.chunks[k].Require(want)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gather selects rows of src by block row index.
+func gather[T any](src []T, sel []int32) []T {
+	dst := make([]T, len(sel))
+	for i, j := range sel {
+		dst[i] = src[j]
+	}
+	return dst
+}
+
+// adopt installs decoded block columns into the chunk: a direct slice
+// adoption when the chunk keeps every block row (sel == nil), a gather by
+// the filter's row selection otherwise. Only columns in set are touched.
+func (c *Chunk) adopt(cols *trace.Columns, sel []int32, set trace.ColSet) {
+	if sel == nil {
+		if set&trace.ColLevel != 0 {
+			c.Level = cols.Level[:c.N]
+		}
+		if set&trace.ColOp != 0 {
+			c.Op = cols.Op[:c.N]
+		}
+		if set&trace.ColLib != 0 {
+			c.Lib = cols.Lib[:c.N]
+		}
+		if set&trace.ColRank != 0 {
+			c.Rank = cols.Rank[:c.N]
+		}
+		if set&trace.ColNode != 0 {
+			c.Node = cols.Node[:c.N]
+		}
+		if set&trace.ColApp != 0 {
+			c.App = cols.App[:c.N]
+		}
+		if set&trace.ColFile != 0 {
+			c.File = cols.File[:c.N]
+		}
+		if set&trace.ColOffset != 0 {
+			c.Offset = cols.Offset[:c.N]
+		}
+		if set&trace.ColSize != 0 {
+			c.Size = cols.Size[:c.N]
+		}
+		if set&trace.ColStart != 0 {
+			c.Start = cols.Start[:c.N]
+		}
+		if set&trace.ColEnd != 0 {
+			c.End = cols.End[:c.N]
+		}
+		return
+	}
+	if set&trace.ColLevel != 0 {
+		c.Level = gather(cols.Level, sel)
+	}
+	if set&trace.ColOp != 0 {
+		c.Op = gather(cols.Op, sel)
+	}
+	if set&trace.ColLib != 0 {
+		c.Lib = gather(cols.Lib, sel)
+	}
+	if set&trace.ColRank != 0 {
+		c.Rank = gather(cols.Rank, sel)
+	}
+	if set&trace.ColNode != 0 {
+		c.Node = gather(cols.Node, sel)
+	}
+	if set&trace.ColApp != 0 {
+		c.App = gather(cols.App, sel)
+	}
+	if set&trace.ColFile != 0 {
+		c.File = gather(cols.File, sel)
+	}
+	if set&trace.ColOffset != 0 {
+		c.Offset = gather(cols.Offset, sel)
+	}
+	if set&trace.ColSize != 0 {
+		c.Size = gather(cols.Size, sel)
+	}
+	if set&trace.ColStart != 0 {
+		c.Start = gather(cols.Start, sel)
+	}
+	if set&trace.ColEnd != 0 {
+		c.End = gather(cols.End, sel)
+	}
+}
+
+// FromBlocksSpec executes a scan plan against a VANITRC2 block log: blocks
+// the footer statistics rule out are never read, read blocks decode only
+// the filter's columns plus spec.Cols, and surviving rows form a table
+// whose remaining columns materialize lazily from the retained payloads.
+// The resulting table is row-identical — same rows, same order — to
+// decoding everything and filtering in memory, at any par. stats may be
+// nil.
+func FromBlocksSpec(br *trace.BlockReader, par int, spec ScanSpec, stats *ScanStats) (*Table, error) {
+	if stats == nil {
+		stats = &ScanStats{}
+	}
+	m := spec.Filter.NewMatcher()
+	nb := br.NumBlocks()
+	stats.BlocksTotal.Add(int64(nb))
+	if br.BlockEvents() != ChunkRows {
+		return fromBlocksSpecSlow(br, spec, m, stats)
+	}
+	fcols := spec.Filter.Cols()
+	chunks := make([]*Chunk, nb)
+	errs := make([]error, nb)
+	parallel.ForEach(par, nb, func(k int) {
+		if m.SkipBlock(br.BlockAt(k)) {
+			stats.BlocksPruned.Add(1)
+			return
+		}
+		bd, err := br.ReadBlock(k)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		stats.PayloadBytes.Add(int64(bd.PayloadBytes()))
+		stats.RowsTotal.Add(int64(bd.Count()))
+		if m.Empty() {
+			ck := &Chunk{N: bd.Count()}
+			src := &lazySrc{bd: bd, stats: stats}
+			if spec.Cols != 0 {
+				var cols trace.Columns
+				decoded, err := bd.Decode(spec.Cols, &cols)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				stats.DecodedBytes.Add(decoded)
+				src.have = spec.Cols
+				if !bd.Projectable() {
+					src.have = trace.AllCols
+				}
+				ck.adopt(&cols, nil, src.have)
+			}
+			if src.have != trace.AllCols {
+				ck.lazy = src
+			}
+			stats.RowsKept.Add(int64(ck.N))
+			chunks[k] = ck
+			return
+		}
+		want := fcols | spec.Cols
+		var cols trace.Columns
+		decoded, err := bd.Decode(want, &cols)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		stats.DecodedBytes.Add(decoded)
+		have := want
+		if !bd.Projectable() {
+			have = trace.AllCols
+		}
+		sel := selectRows(m, &cols, have)
+		stats.RowsKept.Add(int64(len(sel)))
+		if len(sel) == 0 {
+			return // every row filtered out; chunk dropped entirely
+		}
+		ck := &Chunk{N: len(sel)}
+		if len(sel) == cols.N {
+			sel = nil // whole block kept: adopt slices without copying
+		}
+		ck.adopt(&cols, sel, have)
+		if have != trace.AllCols {
+			ck.lazy = &lazySrc{bd: bd, sel: sel, have: have, stats: stats}
+		}
+		chunks[k] = ck
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := &Table{}
+	for _, ck := range chunks {
+		if ck == nil {
+			continue
+		}
+		ck.Base = t.n
+		t.n += ck.N
+		t.chunks = append(t.chunks, ck)
+	}
+	t.uniform = true
+	for k, ck := range t.chunks {
+		if k < len(t.chunks)-1 && ck.N != ChunkRows {
+			t.uniform = false
+			break
+		}
+	}
+	return t, nil
+}
+
+// selectRows applies the residual row predicate over the decoded filter
+// columns. Columns the filter does not constrain may be undecoded; their
+// predicates are trivially true, so zero stands in.
+func selectRows(m *trace.Matcher, cols *trace.Columns, have trace.ColSet) []int32 {
+	sel := make([]int32, 0, cols.N)
+	for j := 0; j < cols.N; j++ {
+		var level, op uint8
+		var rank int32
+		var start int64
+		if have&trace.ColLevel != 0 {
+			level = cols.Level[j]
+		}
+		if have&trace.ColOp != 0 {
+			op = cols.Op[j]
+		}
+		if have&trace.ColRank != 0 {
+			rank = cols.Rank[j]
+		}
+		if have&trace.ColStart != 0 {
+			start = cols.Start[j]
+		}
+		if m.Match(level, op, rank, start) {
+			sel = append(sel, int32(j))
+		}
+	}
+	return sel
+}
+
+// fromBlocksSpecSlow serves non-default block geometries: blocks still
+// prune from the index, but surviving events re-chunk through a Builder.
+func fromBlocksSpecSlow(br *trace.BlockReader, spec ScanSpec, m *trace.Matcher, stats *ScanStats) (*Table, error) {
+	b := NewBuilder()
+	nb := br.NumBlocks()
+	for k := 0; k < nb; k++ {
+		if m.SkipBlock(br.BlockAt(k)) {
+			stats.BlocksPruned.Add(1)
+			continue
+		}
+		bd, err := br.ReadBlock(k)
+		if err != nil {
+			return nil, err
+		}
+		stats.PayloadBytes.Add(int64(bd.PayloadBytes()))
+		stats.RowsTotal.Add(int64(bd.Count()))
+		var cols trace.Columns
+		decoded, err := bd.Decode(trace.AllCols, &cols)
+		if err != nil {
+			return nil, err
+		}
+		stats.DecodedBytes.Add(decoded)
+		for j := 0; j < cols.N; j++ {
+			if !m.Match(cols.Level[j], cols.Op[j], cols.Rank[j], cols.Start[j]) {
+				continue
+			}
+			ev := trace.Event{
+				Level:  trace.Level(cols.Level[j]),
+				Op:     trace.Op(cols.Op[j]),
+				Lib:    trace.Lib(cols.Lib[j]),
+				Rank:   cols.Rank[j],
+				Node:   cols.Node[j],
+				App:    cols.App[j],
+				File:   cols.File[j],
+				Offset: cols.Offset[j],
+				Size:   cols.Size[j],
+				Start:  time.Duration(cols.Start[j]),
+				End:    time.Duration(cols.End[j]),
+			}
+			b.Append(&ev)
+			stats.RowsKept.Add(1)
+		}
+	}
+	return b.Finish(), nil
+}

@@ -28,6 +28,12 @@ type Options struct {
 	// its per-chunk partials in chunk order and accumulates in integers, so
 	// the characterization is bit-identical at any setting.
 	Parallelism int
+	// Filter restricts the characterization to the matching events. Analyze
+	// applies it to the in-memory event log before columnarizing (the
+	// reference semantics); the facade's file path pushes the same filter
+	// down to the block index instead. AnalyzeTable assumes its table was
+	// already built under the filter and does not re-apply it.
+	Filter trace.Filter
 	// Stats, when non-nil, receives per-stage wall-clock timings.
 	Stats *Timings
 }
@@ -41,7 +47,29 @@ type Timings struct {
 	Columnarize time.Duration
 	// Analyze is the fused characterization time.
 	Analyze time.Duration
+	// Scan counts what the scan plan did: blocks pruned via the footer
+	// index, rows dropped by the residual filter, payload bytes decoded vs
+	// available. Filled by the file scan path (or, for in-memory filtering,
+	// the row counters only).
+	Scan colstore.ScanCounters
 }
+
+// The analyzer's declared column sets — the projection half of its scan
+// plan. Each fused pass Requires exactly the columns its kernels read, so a
+// lazily planned table decodes nothing the analysis never touches.
+const (
+	// pass1Cols feeds primary-level resolution and the global scan facts.
+	pass1Cols = trace.ColEnd | trace.ColOp | trace.ColApp | trace.ColRank |
+		trace.ColLevel | trace.ColFile
+	// pass2Cols feeds the fused characterization scan.
+	pass2Cols = trace.ColLevel | trace.ColOp | trace.ColApp | trace.ColFile |
+		trace.ColRank | trace.ColNode | trace.ColSize | trace.ColStart |
+		trace.ColEnd
+	// postCols covers the random-access post passes (phases, access
+	// patterns, dominant sizes, interface resolution).
+	postCols = trace.ColOp | trace.ColStart | trace.ColEnd | trace.ColSize |
+		trace.ColRank | trace.ColFile | trace.ColOffset | trace.ColLib
+)
 
 // DefaultOptions returns the analyzer settings used for the paper tables.
 func DefaultOptions() Options {
@@ -64,29 +92,49 @@ func (opt *Options) fill() {
 	}
 }
 
-// Analyze builds the full characterization from an in-memory trace.
+// Analyze builds the full characterization from an in-memory trace. A
+// non-empty opt.Filter is applied to the event log before columnarizing —
+// the reference semantics every pushed-down scan must reproduce.
 func Analyze(tr *trace.Trace, opt Options) *Characterization {
 	opt.fill()
+	evs := tr.Events
+	if !opt.Filter.Empty() {
+		evs = trace.FilterEvents(evs, opt.Filter)
+		if opt.Stats != nil {
+			opt.Stats.Scan.RowsTotal = int64(len(tr.Events))
+			opt.Stats.Scan.RowsKept = int64(len(evs))
+		}
+	}
 	t0 := time.Now()
-	tb := colstore.FromEvents(tr.Events, opt.Parallelism)
+	tb := colstore.FromEvents(evs, opt.Parallelism)
 	if opt.Stats != nil {
 		opt.Stats.Columnarize = time.Since(t0)
 	}
-	return AnalyzeTable(tr, tb, opt)
+	// An eagerly built table has every column materialized, so analysis
+	// cannot hit a decode error.
+	c, _ := AnalyzeTable(tr, tb, opt)
+	return c
 }
 
 // AnalyzeTable builds the characterization from a columnar table plus the
 // trace header carrying its metadata and interning tables (hdr.Events is
 // never touched, so traces streamed off disk need not materialize one).
-func AnalyzeTable(hdr *trace.Trace, tb *colstore.Table, opt Options) *Characterization {
+// The table may be lazily planned (colstore.FromBlocksSpec): each pass
+// Requires its declared column set, so decode errors deferred by the plan
+// surface here. opt.Filter is NOT applied — the table is assumed to have
+// been built under it.
+func AnalyzeTable(hdr *trace.Trace, tb *colstore.Table, opt Options) (*Characterization, error) {
 	opt.fill()
 	t0 := time.Now()
 	a := &analysis{tr: hdr, tb: tb, opt: opt, par: opt.Parallelism}
-	c := a.run()
+	c, err := a.run()
+	if err != nil {
+		return nil, err
+	}
 	if opt.Stats != nil {
 		opt.Stats.Analyze = time.Since(t0)
 	}
-	return c
+	return c, nil
 }
 
 type analysis struct {
@@ -171,8 +219,15 @@ type rankAcc struct {
 	rDur, wDur     int64
 }
 
-func (a *analysis) run() *Characterization {
-	a.fusedScan()
+func (a *analysis) run() (*Characterization, error) {
+	if err := a.fusedScan(); err != nil {
+		return nil, err
+	}
+	// The post passes random-access small row subsets across many columns;
+	// materialize their declared set up front rather than per accessor call.
+	if err := a.tb.Materialize(a.par, postCols); err != nil {
+		return nil, err
+	}
 
 	c := &Characterization{Workload: a.tr.Meta.Workload}
 	c.JobConfig = a.jobConfig()
@@ -185,7 +240,7 @@ func (a *analysis) run() *Characterization {
 	c.Dataset = a.dataset()
 	c.File = a.fileEntity()
 	c.Figure = a.figure()
-	return c
+	return c, nil
 }
 
 type appFile struct {
@@ -230,14 +285,20 @@ type pass2 struct {
 // predicate walks (primary-level resolution, primary row collection,
 // per-app rank scans, GPU detection, POSIX row collection, file
 // aggregation, histogram/timeline/per-rank accumulation) with two
-// chunk-parallel passes over the columnar store.
-func (a *analysis) fusedScan() {
+// chunk-parallel passes over the columnar store. Each pass declares its
+// column set and Requires it per chunk, so a lazily planned table decodes
+// exactly the columns the pass touches.
+func (a *analysis) fusedScan() error {
 	nchunks := a.tb.NumChunks()
+	errs := make([]error, nchunks)
 
 	// Pass 1: resolve primary levels and global scan facts.
 	p1 := make([]*pass1, nchunks)
 	parallel.ForEach(a.par, nchunks, func(k int) {
 		c := a.tb.ChunkAt(k)
+		if errs[k] = c.Require(pass1Cols); errs[k] != nil {
+			return
+		}
 		p := &pass1{levels: map[appFile]uint8{}, appRanks: map[int32]map[int32]bool{}}
 		for j := 0; j < c.N; j++ {
 			if c.End[j] > p.maxEnd {
@@ -262,6 +323,11 @@ func (a *analysis) fusedScan() {
 		}
 		p1[k] = p
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	levels := map[appFile]uint8{}
 	appRankSets := map[int32]map[int32]bool{}
 	var maxEnd int64
@@ -297,6 +363,9 @@ func (a *analysis) fusedScan() {
 	p2 := make([]*pass2, nchunks)
 	parallel.ForEach(a.par, nchunks, func(k int) {
 		c := a.tb.ChunkAt(k)
+		if errs[k] = c.Require(pass2Cols); errs[k] != nil {
+			return
+		}
 		p := &pass2{
 			byApp:   map[int32][]int{},
 			files:   map[int32]*fileAgg{},
@@ -379,6 +448,11 @@ func (a *analysis) fusedScan() {
 		}
 		p2[k] = p
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 
 	a.byApp = map[int32][]int{}
 	a.fileAgg = map[int32]*fileAgg{}
@@ -417,6 +491,7 @@ func (a *analysis) fusedScan() {
 			}
 		}
 	}
+	return nil
 }
 
 // byApp row lists concatenate per-chunk partials whose in-chunk appends are

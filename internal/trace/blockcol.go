@@ -1,0 +1,359 @@
+package trace
+
+// Columnar block payloads and the v2.1 footer. PR 2's block payloads are
+// row-interleaved: every column of every event must be varint-decoded even
+// when a scan touches two columns. The columnar layout re-shapes each block
+// into eleven independent, self-contained column segments (Start and End
+// are each delta-chained within their own segment), and the v2.1 footer
+// records every segment's byte length plus per-block rank bounds and
+// level/op bitmasks — so a scan plan can skip whole blocks from the index
+// and decode only the segments its column set names.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// footerMagicV3 marks the v2.1 footer: v2.0 entries extended with per-block
+// min/max rank, level/op bitmasks, and per-column segment byte lengths.
+const footerMagicV3 = "VANIIDX3"
+
+// Columnar block payload codecs. The payload is:
+//
+//	uvarint count
+//	NumCols × segment, in ColSet bit order:
+//	    Level, Op, Lib        count × uvarint
+//	    Rank, Node            count × varint (bounded to int32)
+//	    App, File             count × varint
+//	    Offset, Size          count × varint
+//	    Start                 count × varint: delta chain from 0
+//	    End                   count × varint: delta chain from 0
+//
+// Each segment decodes with no state from any other, so a projected read
+// touches only the byte ranges the footer records for the wanted columns.
+const (
+	codecRawCol   = 2
+	codecFlateCol = 3
+)
+
+// blockStatsCol computes a block's full v2.1 footer statistics: time and
+// rank bounds plus level/op occupancy masks (the pruning surface).
+func blockStatsCol(evs []Event) BlockInfo {
+	bi := BlockInfo{Count: len(evs), HasStats: true}
+	if len(evs) == 0 {
+		return bi
+	}
+	bi.MinStart, bi.MaxStart = evs[0].Start, evs[0].Start
+	bi.MinRank, bi.MaxRank = evs[0].Rank, evs[0].Rank
+	for i := range evs {
+		e := &evs[i]
+		if e.Start < bi.MinStart {
+			bi.MinStart = e.Start
+		} else if e.Start > bi.MaxStart {
+			bi.MaxStart = e.Start
+		}
+		if e.Rank < bi.MinRank {
+			bi.MinRank = e.Rank
+		} else if e.Rank > bi.MaxRank {
+			bi.MaxRank = e.Rank
+		}
+		if uint(e.Level) < 32 {
+			bi.LevelMask |= 1 << e.Level
+		}
+		if uint(e.Op) < 32 {
+			bi.OpMask |= 1 << e.Op
+		}
+	}
+	return bi
+}
+
+// appendColSegment encodes one column of evs as an independent segment.
+func appendColSegment(dst []byte, col int, evs []Event) []byte {
+	switch ColSet(1) << col {
+	case ColLevel:
+		for i := range evs {
+			dst = binary.AppendUvarint(dst, uint64(evs[i].Level))
+		}
+	case ColOp:
+		for i := range evs {
+			dst = binary.AppendUvarint(dst, uint64(evs[i].Op))
+		}
+	case ColLib:
+		for i := range evs {
+			dst = binary.AppendUvarint(dst, uint64(evs[i].Lib))
+		}
+	case ColRank:
+		for i := range evs {
+			dst = binary.AppendVarint(dst, int64(evs[i].Rank))
+		}
+	case ColNode:
+		for i := range evs {
+			dst = binary.AppendVarint(dst, int64(evs[i].Node))
+		}
+	case ColApp:
+		for i := range evs {
+			dst = binary.AppendVarint(dst, int64(evs[i].App))
+		}
+	case ColFile:
+		for i := range evs {
+			dst = binary.AppendVarint(dst, int64(evs[i].File))
+		}
+	case ColOffset:
+		for i := range evs {
+			dst = binary.AppendVarint(dst, evs[i].Offset)
+		}
+	case ColSize:
+		for i := range evs {
+			dst = binary.AppendVarint(dst, evs[i].Size)
+		}
+	case ColStart:
+		prev := int64(0)
+		for i := range evs {
+			s := int64(evs[i].Start)
+			dst = binary.AppendVarint(dst, s-prev)
+			prev = s
+		}
+	case ColEnd:
+		prev := int64(0)
+		for i := range evs {
+			e := int64(evs[i].End)
+			dst = binary.AppendVarint(dst, e-prev)
+			prev = e
+		}
+	}
+	return dst
+}
+
+// decodeColSegment decodes n values of one column segment from c into the
+// matching slice of cols (already grown to n rows).
+func decodeColSegment(c *byteCursor, col, n int, cols *Columns) error {
+	switch ColSet(1) << col {
+	case ColLevel:
+		for i := 0; i < n; i++ {
+			cols.Level[i] = uint8(c.uvarint())
+		}
+	case ColOp:
+		for i := 0; i < n; i++ {
+			cols.Op[i] = uint8(c.uvarint())
+		}
+	case ColLib:
+		for i := 0; i < n; i++ {
+			cols.Lib[i] = uint8(c.uvarint())
+		}
+	case ColRank:
+		for i := 0; i < n; i++ {
+			cols.Rank[i] = int32(boundedInt(c, "rank"))
+		}
+	case ColNode:
+		for i := 0; i < n; i++ {
+			cols.Node[i] = int32(boundedInt(c, "node"))
+		}
+	case ColApp:
+		for i := 0; i < n; i++ {
+			cols.App[i] = int32(c.varint())
+		}
+	case ColFile:
+		for i := 0; i < n; i++ {
+			cols.File[i] = int32(c.varint())
+		}
+	case ColOffset:
+		for i := 0; i < n; i++ {
+			cols.Offset[i] = c.varint()
+		}
+	case ColSize:
+		for i := 0; i < n; i++ {
+			cols.Size[i] = c.varint()
+		}
+	case ColStart:
+		prev := int64(0)
+		for i := 0; i < n; i++ {
+			prev += c.varint()
+			cols.Start[i] = prev
+		}
+	case ColEnd:
+		prev := int64(0)
+		for i := 0; i < n; i++ {
+			prev += c.varint()
+			cols.End[i] = prev
+		}
+	}
+	return c.err
+}
+
+// encodeColumnarFrame encodes one block's events as a columnar payload
+// wrapped in a frame, returning the footer entry (pruning stats plus the
+// per-column byte ranges the projected read path seeks by).
+func encodeColumnarFrame(evs []Event, compress bool) ([]byte, BlockInfo) {
+	bi := blockStatsCol(evs)
+	payload := binary.AppendUvarint(make([]byte, 0, 16+minEventBytes*2*len(evs)), uint64(len(evs)))
+	for col := 0; col < NumCols; col++ {
+		n := len(payload)
+		payload = appendColSegment(payload, col, evs)
+		bi.ColLens[col] = int64(len(payload) - n)
+	}
+	return wrapFrame(payload, compress, true), bi
+}
+
+// decodeBlockColumnsSeq decodes a columnar payload sequentially — every
+// segment in order — for readers without footer byte ranges (the streaming
+// Scanner, or crafted logs pairing columnar payloads with a v2.0 footer).
+func decodeBlockColumnsSeq(payload []byte, blockEvents int, cols *Columns) error {
+	c := &byteCursor{b: payload}
+	count := c.uvarint()
+	if c.err != nil {
+		return c.err
+	}
+	if err := checkBlockCount(count, len(payload), blockEvents); err != nil {
+		return err
+	}
+	cols.grow(int(count))
+	for col := 0; col < NumCols; col++ {
+		if err := decodeColSegment(c, col, int(count), cols); err != nil {
+			return fmt.Errorf("%s column: %w", colNames[col], err)
+		}
+	}
+	if c.off != len(payload) {
+		return badf("%d trailing bytes after block columns", len(payload)-c.off)
+	}
+	return nil
+}
+
+// colsToEvents transposes decoded columns into row-major events, appending
+// into dst's capacity (dst is reset).
+func colsToEvents(cols *Columns, dst []Event) []Event {
+	dst = dst[:0]
+	for i := 0; i < cols.N; i++ {
+		dst = append(dst, Event{
+			Level:  Level(cols.Level[i]),
+			Op:     Op(cols.Op[i]),
+			Lib:    Lib(cols.Lib[i]),
+			Rank:   cols.Rank[i],
+			Node:   cols.Node[i],
+			App:    cols.App[i],
+			File:   cols.File[i],
+			Offset: cols.Offset[i],
+			Size:   cols.Size[i],
+			Start:  time.Duration(cols.Start[i]),
+			End:    time.Duration(cols.End[i]),
+		})
+	}
+	return dst
+}
+
+// BlockData is one block's unwrapped payload held in memory for on-demand
+// column materialization: colstore's lazy chunks keep a BlockData and
+// decode individual segments only when an analysis kernel first touches
+// them. Decode is additive over a shared Columns value and is not safe for
+// concurrent use on the same receiver (colstore serializes per-chunk
+// materialization behind the chunk's lock).
+type BlockData struct {
+	payload     []byte
+	columnar    bool
+	projectable bool
+	count       int
+	blockEvents int
+	block       int
+	segBase     int
+	colLens     [NumCols]int64
+}
+
+// Count returns the number of events in the block.
+func (bd *BlockData) Count() int { return bd.count }
+
+// PayloadBytes returns the unwrapped payload size in bytes.
+func (bd *BlockData) PayloadBytes() int { return len(bd.payload) }
+
+// Projectable reports whether single columns decode independently (columnar
+// payload with footer byte ranges). Otherwise any Decode call performs a
+// full-block decode regardless of the requested set.
+func (bd *BlockData) Projectable() bool { return bd.projectable }
+
+// ReadBlock fetches and unwraps block k, validating the payload's count
+// prefix and — for projectable blocks — that the footer's column byte
+// ranges tile the payload exactly. The returned BlockData is independent of
+// the reader's file handle.
+func (br *BlockReader) ReadBlock(k int) (*BlockData, error) {
+	payload, columnar, err := br.readBlockPayload(k)
+	if err != nil {
+		return nil, err
+	}
+	bi := br.blocks[k]
+	bd := &BlockData{
+		payload:     payload,
+		columnar:    columnar,
+		count:       bi.Count,
+		blockEvents: br.blockEvents,
+		block:       k,
+	}
+	if !columnar {
+		return bd, nil
+	}
+	c := &byteCursor{b: payload}
+	count := c.uvarint()
+	if c.err != nil {
+		return nil, fmt.Errorf("block %d: %w", k, c.err)
+	}
+	if err := checkBlockCount(count, len(payload), br.blockEvents); err != nil {
+		return nil, fmt.Errorf("block %d: %w", k, err)
+	}
+	if int(count) != bi.Count {
+		return nil, badf("block %d payload holds %d events, index says %d", k, count, bi.Count)
+	}
+	if bi.HasStats {
+		sum := int64(c.off)
+		for _, cl := range bi.ColLens {
+			sum += cl
+		}
+		if sum != int64(len(payload)) {
+			return nil, badf("block %d column ranges cover %d of %d payload bytes", k, sum, len(payload))
+		}
+		bd.segBase = c.off
+		bd.colLens = bi.ColLens
+		bd.projectable = true
+	}
+	return bd, nil
+}
+
+// Decode materializes the requested columns into cols, growing it to the
+// block's row count, and returns the payload bytes it actually decoded.
+// Projectable blocks decode only the wanted segments; row-layout blocks and
+// columnar blocks without byte ranges fall back to a full decode (every
+// column filled, full payload size reported). Additive: columns decoded by
+// an earlier call on the same cols are preserved.
+func (bd *BlockData) Decode(want ColSet, cols *Columns) (int64, error) {
+	if !bd.projectable {
+		var err error
+		if bd.columnar {
+			err = decodeBlockColumnsSeq(bd.payload, bd.blockEvents, cols)
+		} else {
+			err = decodeBlockColumns(bd.payload, bd.blockEvents, cols)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("block %d: %w", bd.block, err)
+		}
+		if cols.N != bd.count {
+			return 0, badf("block %d decodes %d events, index says %d", bd.block, cols.N, bd.count)
+		}
+		return int64(len(bd.payload)), nil
+	}
+	cols.grow(bd.count)
+	// The count prefix was parsed by ReadBlock; only segment bytes count.
+	var decoded int64
+	off := int64(bd.segBase)
+	for col := 0; col < NumCols; col++ {
+		cl := bd.colLens[col]
+		if want&(ColSet(1)<<col) != 0 {
+			c := &byteCursor{b: bd.payload[off : off+cl]}
+			if err := decodeColSegment(c, col, bd.count, cols); err != nil {
+				return decoded, fmt.Errorf("block %d %s column: %w", bd.block, colNames[col], err)
+			}
+			if c.off != int(cl) {
+				return decoded, badf("block %d %s column: %d trailing bytes", bd.block, colNames[col], int(cl)-c.off)
+			}
+			decoded += cl
+		}
+		off += cl
+	}
+	return decoded, nil
+}

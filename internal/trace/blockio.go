@@ -15,11 +15,12 @@ package trace
 //	uvarint eventCount
 //	uvarint blockCount    == ceil(eventCount/blockEvents)
 //	blockCount × frame:
-//	    byte codec            0 = raw, 1 = flate
+//	    byte codec            0 = raw row, 1 = flate row,
+//	                          2 = raw columnar, 3 = flate columnar
 //	    uvarint rawLen        decoded payload length in bytes
-//	    [uvarint compLen]     only for codec 1
+//	    [uvarint compLen]     only for flate codecs
 //	    payload               rawLen raw bytes, or compLen flate bytes
-//	footer:
+//	footer (v2.0, trailer magic "VANIIDX2"):
 //	    uvarint blockCount
 //	    blockCount × entry:
 //	        uvarint offset    absolute file offset of the block frame
@@ -27,16 +28,26 @@ package trace
 //	        uvarint count     events in the block
 //	        varint  minStart  earliest event start (ns)
 //	        varint  maxStart  latest event start (ns)
-//	    (then, fixed-size trailer)
+//	footer (v2.1, trailer magic "VANIIDX3"): each v2.0 entry followed by
+//	        varint  minRank, maxRank
+//	        uvarint levelMask, opMask   occupancy bitmasks
+//	        NumCols × uvarint colLen    per-column segment byte lengths
+//	(either footer ends with a fixed-size trailer)
 //	    8 bytes LE footerLen  bytes from "uvarint blockCount" through entries
-//	    magic "VANIIDX2" (8 bytes)
+//	    footer magic (8 bytes)
 //
-// Block payload (the raw form):
+// Row block payload (codecs 0/1 — the PR 2 layout, still written under
+// V2Options.RowLayout and always readable):
 //
 //	uvarint count
 //	varint  base              first event's Start (ns)
 //	count × event: uvarint Level, Op, Lib; varint Rank, Node, App, File,
 //	               Offset, Size, Start-prev, End-Start   (prev starts at base)
+//
+// Columnar block payload (codecs 2/3, the default): see blockcol.go — one
+// independent segment per column, byte-ranged by the v2.1 footer, so a scan
+// plan decodes only the columns it names and skips blocks its predicates
+// rule out.
 //
 // Every block decodes with no state from its neighbors, so encode fans out
 // over the worker pool at write time and decode fans out at read time —
@@ -150,6 +161,11 @@ type V2Options struct {
 	// Parallelism bounds the encode workers (0 = GOMAXPROCS, 1 = inline).
 	// The output bytes are identical at every setting.
 	Parallelism int
+	// RowLayout writes the legacy v2.0 row-interleaved block payloads and
+	// VANIIDX2 footer instead of the default columnar payloads + VANIIDX3
+	// footer. Row-layout logs decode everywhere but cannot serve projected
+	// (per-column) reads.
+	RowLayout bool
 }
 
 // WriteFormat encodes the trace to out in the requested format, with
@@ -202,8 +218,12 @@ func WriteV2With(out io.Writer, t *Trace, opt V2Options) error {
 			hi = nEvents
 		}
 		evs := t.Events[lo:hi]
-		frames[k] = encodeBlockFrame(evs, opt.Compress)
-		infos[k] = blockStats(evs)
+		if opt.RowLayout {
+			frames[k] = encodeBlockFrame(evs, opt.Compress)
+			infos[k] = blockStats(evs)
+		} else {
+			frames[k], infos[k] = encodeColumnarFrame(evs, opt.Compress)
+		}
 	})
 
 	for k := range frames {
@@ -221,10 +241,23 @@ func WriteV2With(out io.Writer, t *Trace, opt V2Options) error {
 		w.uvarint(uint64(bi.Count))
 		w.varint(int64(bi.MinStart))
 		w.varint(int64(bi.MaxStart))
+		if !opt.RowLayout {
+			w.varint(int64(bi.MinRank))
+			w.varint(int64(bi.MaxRank))
+			w.uvarint(uint64(bi.LevelMask))
+			w.uvarint(uint64(bi.OpMask))
+			for _, cl := range bi.ColLens {
+				w.uvarint(uint64(cl))
+			}
+		}
 	}
 	var trailer [trailerLen]byte
 	binary.LittleEndian.PutUint64(trailer[:8], uint64(w.n-footStart))
-	copy(trailer[8:], footerMagic)
+	if opt.RowLayout {
+		copy(trailer[8:], footerMagic)
+	} else {
+		copy(trailer[8:], footerMagicV3)
+	}
 	w.raw(trailer[:])
 	if w.err != nil {
 		return w.err
@@ -249,13 +282,23 @@ func blockStats(evs []Event) BlockInfo {
 	return bi
 }
 
-// encodeBlockFrame encodes one block's events into a complete frame
-// (codec byte, lengths, payload).
+// encodeBlockFrame encodes one block's events into a complete row-layout
+// frame (codec byte, lengths, payload).
 func encodeBlockFrame(evs []Event, compress bool) []byte {
 	payload := appendBlockPayload(make([]byte, 0, 16+minEventBytes*2*len(evs)), evs)
+	return wrapFrame(payload, compress, false)
+}
+
+// wrapFrame frames a block payload: codec byte, length claims, and the raw
+// or flate-compressed bytes.
+func wrapFrame(payload []byte, compress, columnar bool) []byte {
+	rawCodec, flateCodec := byte(codecRaw), byte(codecFlate)
+	if columnar {
+		rawCodec, flateCodec = codecRawCol, codecFlateCol
+	}
 	if !compress {
 		frame := make([]byte, 0, len(payload)+binary.MaxVarintLen64+1)
-		frame = append(frame, codecRaw)
+		frame = append(frame, rawCodec)
 		frame = binary.AppendUvarint(frame, uint64(len(payload)))
 		return append(frame, payload...)
 	}
@@ -267,7 +310,7 @@ func encodeBlockFrame(evs []Event, compress bool) []byte {
 	fw.Write(payload)
 	fw.Close()
 	frame := make([]byte, 0, comp.Len()+2*binary.MaxVarintLen64+1)
-	frame = append(frame, codecFlate)
+	frame = append(frame, flateCodec)
 	frame = binary.AppendUvarint(frame, uint64(len(payload)))
 	frame = binary.AppendUvarint(frame, uint64(comp.Len()))
 	return append(frame, comp.Bytes()...)
@@ -496,50 +539,52 @@ func decodeBlockColumns(payload []byte, blockEvents int, cols *Columns) error {
 }
 
 // unwrapFrame strips a block frame down to its raw payload, decompressing
-// if needed. Allocation is bounded by the actual frame bytes: a flate block
-// may not claim a decoded size beyond the codec's maximum ratio.
-func unwrapFrame(frame []byte) ([]byte, error) {
+// if needed, and reports whether the payload uses the columnar layout.
+// Allocation is bounded by the actual frame bytes: a flate block may not
+// claim a decoded size beyond the codec's maximum ratio.
+func unwrapFrame(frame []byte) ([]byte, bool, error) {
 	if len(frame) == 0 {
-		return nil, badf("empty block frame")
+		return nil, false, badf("empty block frame")
 	}
 	c := &byteCursor{b: frame, off: 1}
+	columnar := frame[0] == codecRawCol || frame[0] == codecFlateCol
 	switch frame[0] {
-	case codecRaw:
+	case codecRaw, codecRawCol:
 		rawLen := c.uvarint()
 		if c.err != nil {
-			return nil, c.err
+			return nil, false, c.err
 		}
 		rest := frame[c.off:]
 		if uint64(len(rest)) != rawLen {
-			return nil, badf("raw block length %d != framed %d", rawLen, len(rest))
+			return nil, false, badf("raw block length %d != framed %d", rawLen, len(rest))
 		}
-		return rest, nil
-	case codecFlate:
+		return rest, columnar, nil
+	case codecFlate, codecFlateCol:
 		rawLen := c.uvarint()
 		compLen := c.uvarint()
 		if c.err != nil {
-			return nil, c.err
+			return nil, false, c.err
 		}
 		rest := frame[c.off:]
 		if uint64(len(rest)) != compLen {
-			return nil, badf("compressed block length %d != framed %d", compLen, len(rest))
+			return nil, false, badf("compressed block length %d != framed %d", compLen, len(rest))
 		}
 		if rawLen > maxFlateRatio*compLen+64 {
-			return nil, badf("compressed block claims %d bytes from %d", rawLen, compLen)
+			return nil, false, badf("compressed block claims %d bytes from %d", rawLen, compLen)
 		}
 		fr := flate.NewReader(bytes.NewReader(rest))
 		defer fr.Close()
 		payload := make([]byte, rawLen)
 		if _, err := io.ReadFull(fr, payload); err != nil {
-			return nil, badf("inflating block: %v", err)
+			return nil, false, badf("inflating block: %v", err)
 		}
 		var one [1]byte
 		if n, _ := fr.Read(one[:]); n != 0 {
-			return nil, badf("compressed block longer than declared %d bytes", rawLen)
+			return nil, false, badf("compressed block longer than declared %d bytes", rawLen)
 		}
-		return payload, nil
+		return payload, columnar, nil
 	}
-	return nil, badf("unknown block codec %d", frame[0])
+	return nil, false, badf("unknown block codec %d", frame[0])
 }
 
 // v2stream is the VANITRC2 state of a streaming Scanner: blocks decode
@@ -549,7 +594,8 @@ type v2stream struct {
 	blocksLeft  int
 	buf         []Event // decoded current block
 	pos         int
-	frame       []byte // reused frame scratch
+	frame       []byte  // reused frame scratch
+	cols        Columns // reused scratch for columnar blocks
 }
 
 // newScannerV2 finishes scanner construction after a VANITRC2 magic: the
@@ -596,9 +642,9 @@ func (s *Scanner) readFrame() ([]byte, error) {
 	head := []byte{codec}
 	head = binary.AppendUvarint(head, rawLen)
 	switch codec {
-	case codecRaw:
+	case codecRaw, codecRawCol:
 		need = rawLen
-	case codecFlate:
+	case codecFlate, codecFlateCol:
 		compLen := r.uvarint()
 		head = binary.AppendUvarint(head, compLen)
 		need = compLen
@@ -647,13 +693,21 @@ func (s *Scanner) nextV2(buf []Event) (int, error) {
 			if err != nil {
 				return filled, err
 			}
-			payload, err := unwrapFrame(frame)
+			payload, columnar, err := unwrapFrame(frame)
 			if err != nil {
 				return filled, err
 			}
-			evs, err := decodeBlockEvents(payload, v.blockEvents, v.buf)
-			if err != nil {
-				return filled, err
+			var evs []Event
+			if columnar {
+				if err := decodeBlockColumnsSeq(payload, v.blockEvents, &v.cols); err != nil {
+					return filled, err
+				}
+				evs = colsToEvents(&v.cols, v.buf)
+			} else {
+				evs, err = decodeBlockEvents(payload, v.blockEvents, v.buf)
+				if err != nil {
+					return filled, err
+				}
 			}
 			if uint64(len(evs)) > s.remaining {
 				return filled, badf("block overruns declared event count")
@@ -672,13 +726,24 @@ func (s *Scanner) nextV2(buf []Event) (int, error) {
 	return filled, nil
 }
 
-// BlockInfo describes one block in the VANITRC2 footer index.
+// BlockInfo describes one block in the VANITRC2 footer index. The v2.0
+// footer carries only the time bounds; v2.1 entries add rank bounds,
+// level/op occupancy masks, and per-column segment byte lengths
+// (HasStats reports which kind this entry is).
 type BlockInfo struct {
 	Offset   int64 // absolute file offset of the block frame
 	Len      int64 // framed length in bytes
 	Count    int   // events in the block
 	MinStart time.Duration
 	MaxStart time.Duration
+
+	// v2.1 statistics (valid only when HasStats).
+	MinRank   int32
+	MaxRank   int32
+	LevelMask uint32         // bit l set ⇒ some event has Level l
+	OpMask    uint32         // bit o set ⇒ some event has Op o
+	ColLens   [NumCols]int64 // byte length of each column segment
+	HasStats  bool
 }
 
 // BlockReader reads a VANITRC2 log through its footer index: the header
@@ -733,12 +798,26 @@ func NewBlockReader(r io.ReaderAt, size int64) (*BlockReader, error) {
 	if _, err := r.ReadAt(trailer[:], size-trailerLen); err != nil {
 		return nil, badf("footer trailer: %v", err)
 	}
-	if string(trailer[8:]) != footerMagic {
+	var hasStats bool
+	switch string(trailer[8:]) {
+	case footerMagic:
+	case footerMagicV3:
+		hasStats = true
+	default:
 		return nil, badf("bad footer magic %q", trailer[8:])
 	}
 	footLen := binary.LittleEndian.Uint64(trailer[:8])
 	if footLen > uint64(size-trailerLen) {
 		return nil, badf("footer length %d exceeds file", footLen)
+	}
+	// Each entry needs at least one byte per field, so the footer length
+	// itself bounds the index allocation a corrupt header can demand.
+	minEntry := uint64(5)
+	if hasStats {
+		minEntry = 9 + NumCols
+	}
+	if nBlocks*minEntry > footLen {
+		return nil, badf("footer %d bytes too small for %d blocks", footLen, nBlocks)
 	}
 	foot := make([]byte, footLen)
 	footStart := size - trailerLen - int64(footLen)
@@ -759,6 +838,30 @@ func NewBlockReader(r io.ReaderAt, size int64) (*BlockReader, error) {
 		bi.Count = int(c.uvarint())
 		bi.MinStart = time.Duration(c.varint())
 		bi.MaxStart = time.Duration(c.varint())
+		if hasStats {
+			bi.MinRank = int32(boundedInt(c, "footer min rank"))
+			bi.MaxRank = int32(boundedInt(c, "footer max rank"))
+			lm := c.uvarint()
+			om := c.uvarint()
+			if c.err == nil && (lm > math.MaxUint32 || om > math.MaxUint32) {
+				return nil, badf("block %d stat masks out of range", k)
+			}
+			bi.LevelMask = uint32(lm)
+			bi.OpMask = uint32(om)
+			var sum int64
+			for col := 0; col < NumCols; col++ {
+				cl := c.uvarint()
+				if c.err == nil && cl > uint64(math.MaxInt32) {
+					return nil, badf("block %d column %d segment length %d", k, col, cl)
+				}
+				bi.ColLens[col] = int64(cl)
+				sum += int64(cl)
+			}
+			if c.err == nil && sum > maxFlateRatio*bi.Len+64 {
+				return nil, badf("block %d column segments claim %d bytes from %d-byte frame", k, sum, bi.Len)
+			}
+			bi.HasStats = true
+		}
 		if c.err != nil {
 			return nil, c.err
 		}
@@ -807,28 +910,35 @@ func (br *BlockReader) NumEvents() uint64 { return br.nEvents }
 // bounds) without decoding it — the seekable pruning surface.
 func (br *BlockReader) BlockAt(k int) BlockInfo { return br.blocks[k] }
 
-// readBlockPayload fetches and unwraps block k's raw payload.
-func (br *BlockReader) readBlockPayload(k int) ([]byte, error) {
+// readBlockPayload fetches and unwraps block k's raw payload, reporting
+// whether it uses the columnar layout.
+func (br *BlockReader) readBlockPayload(k int) ([]byte, bool, error) {
 	bi := br.blocks[k]
 	frame := make([]byte, bi.Len)
 	if _, err := br.r.ReadAt(frame, bi.Offset); err != nil {
-		return nil, badf("block %d: %v", k, err)
+		return nil, false, badf("block %d: %v", k, err)
 	}
-	payload, err := unwrapFrame(frame)
+	payload, columnar, err := unwrapFrame(frame)
 	if err != nil {
-		return nil, fmt.Errorf("block %d: %w", k, err)
+		return nil, false, fmt.Errorf("block %d: %w", k, err)
 	}
-	return payload, nil
+	return payload, columnar, nil
 }
 
-// DecodeColumns decodes block k directly into column slices, reusing the
-// capacity of cols. Safe to call concurrently for distinct cols.
+// DecodeColumns decodes every column of block k into column slices, reusing
+// the capacity of cols. Safe to call concurrently for distinct cols. Use
+// ReadBlock + BlockData.Decode for projected (per-column) reads.
 func (br *BlockReader) DecodeColumns(k int, cols *Columns) error {
-	payload, err := br.readBlockPayload(k)
+	payload, columnar, err := br.readBlockPayload(k)
 	if err != nil {
 		return err
 	}
-	if err := decodeBlockColumns(payload, br.blockEvents, cols); err != nil {
+	if columnar {
+		err = decodeBlockColumnsSeq(payload, br.blockEvents, cols)
+	} else {
+		err = decodeBlockColumns(payload, br.blockEvents, cols)
+	}
+	if err != nil {
 		return fmt.Errorf("block %d: %w", k, err)
 	}
 	if cols.N != br.blocks[k].Count {
@@ -840,13 +950,22 @@ func (br *BlockReader) DecodeColumns(k int, cols *Columns) error {
 // DecodeEvents decodes block k into row-major events, appending into dst's
 // capacity (dst is reset). Safe to call concurrently for distinct dst.
 func (br *BlockReader) DecodeEvents(k int, dst []Event) ([]Event, error) {
-	payload, err := br.readBlockPayload(k)
+	payload, columnar, err := br.readBlockPayload(k)
 	if err != nil {
 		return nil, err
 	}
-	evs, err := decodeBlockEvents(payload, br.blockEvents, dst)
-	if err != nil {
-		return nil, fmt.Errorf("block %d: %w", k, err)
+	var evs []Event
+	if columnar {
+		var cols Columns
+		if err := decodeBlockColumnsSeq(payload, br.blockEvents, &cols); err != nil {
+			return nil, fmt.Errorf("block %d: %w", k, err)
+		}
+		evs = colsToEvents(&cols, dst)
+	} else {
+		evs, err = decodeBlockEvents(payload, br.blockEvents, dst)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", k, err)
+		}
 	}
 	if len(evs) != br.blocks[k].Count {
 		return nil, badf("block %d decodes %d events, index says %d", k, len(evs), br.blocks[k].Count)

@@ -43,6 +43,16 @@ type record struct {
 	// faster log bytes turn into analyzable column chunks under the block
 	// format's parallel decode than under the v1 serial stream.
 	DecodeSpeedup float64 `json:"decode_speedup_v1_over_v2par"`
+	// PrunedScanSpeedup is full-ns/window25-pruned-ns of
+	// BenchmarkScanPlanner — the scan-planner headline number: how much
+	// faster a 25% time window characterizes when the predicate pushes down
+	// to the footer index than materializing the whole log. Both cases
+	// report MB/s over the same encoded bytes.
+	PrunedScanSpeedup float64 `json:"pruned_scan_speedup_full_over_window25,omitempty"`
+	// ProjectedScanSpeedup extends the pruned scan with a declared
+	// two-column projection (window25-projected), skipping the other nine
+	// column decodes entirely.
+	ProjectedScanSpeedup float64 `json:"projected_scan_speedup_full_over_window25,omitempty"`
 }
 
 func main() {
@@ -67,7 +77,7 @@ func main() {
 			"decode_speedup still shows the v2 block decoder's contiguous-buffer " +
 			"advantage over the v1 byte-at-a-time stream.",
 	}
-	var seqNs, parNs, v1Ns, v2ParNs float64
+	var seqNs, parNs, v1Ns, v2ParNs, fullNs, prunedNs, projNs float64
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -110,6 +120,12 @@ func main() {
 			v1Ns = ns
 		case strings.HasPrefix(r.Name, "BenchmarkTraceDecodeToTable/v2-parallel"):
 			v2ParNs = ns
+		case strings.HasPrefix(r.Name, "BenchmarkScanPlanner/full"):
+			fullNs = ns
+		case strings.HasPrefix(r.Name, "BenchmarkScanPlanner/window25-pruned"):
+			prunedNs = ns
+		case strings.HasPrefix(r.Name, "BenchmarkScanPlanner/window25-projected"):
+			projNs = ns
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -121,6 +137,12 @@ func main() {
 	}
 	if v1Ns > 0 && v2ParNs > 0 {
 		rec.DecodeSpeedup = v1Ns / v2ParNs
+	}
+	if fullNs > 0 && prunedNs > 0 {
+		rec.PrunedScanSpeedup = fullNs / prunedNs
+	}
+	if fullNs > 0 && projNs > 0 {
+		rec.ProjectedScanSpeedup = fullNs / projNs
 	}
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -71,14 +71,31 @@ func Workloads() []string { return workloads.Names() }
 func Run(w Workload, spec Spec) (*Result, error) { return workloads.Run(w, spec) }
 
 // AnalyzerOptions tunes the characterization pipeline: phase gap, figure
-// resolution, the Parallelism knob of the chunked scans, and an optional
+// resolution, the Parallelism knob of the chunked scans, an optional
+// Filter restricting the analysis to matching events, and an optional
 // Stats sink for per-stage wall-clock timings. The output is bit-identical
 // at every Parallelism setting.
 type AnalyzerOptions = core.Options
 
 // AnalyzerTimings receives per-stage wall-clock timings (trace-merge,
-// columnarize, analyze) when wired into AnalyzerOptions.Stats.
+// columnarize, analyze) and the scan-plan counters (blocks pruned, bytes
+// decoded) when wired into AnalyzerOptions.Stats.
 type AnalyzerTimings = core.Timings
+
+// TraceFilter selects a subset of trace events: a time window over event
+// starts, a rank set, a level set, and an operation class. The zero value
+// matches everything. On VANITRC2 logs the filter is pushed down to the
+// block index — blocks the footer statistics rule out are never read — and
+// the result is byte-identical to filtering the full decode in memory.
+type TraceFilter = trace.Filter
+
+// Operation classes for TraceFilter.Ops.
+const (
+	OpClassAll  = trace.OpClassAll
+	OpClassData = trace.OpClassData
+	OpClassMeta = trace.OpClassMeta
+	OpClassIO   = trace.OpClassIO
+)
 
 // DefaultAnalyzerOptions returns the settings used for the paper tables.
 func DefaultAnalyzerOptions() AnalyzerOptions { return core.DefaultOptions() }
@@ -122,6 +139,12 @@ func CharacterizeFile(path string, cfg *StorageConfig) (*Characterization, error
 // VANITRC2 logs decode block-parallel through the footer index straight
 // into column chunks; VANITRC1 logs stream through the serial scanner.
 // Both paths produce the identical characterization.
+//
+// When opt.Filter is set, the filter is pushed down the read path: on
+// VANITRC2 logs whole blocks are pruned via the footer statistics, only
+// the filter's columns are decoded up front, and the remaining columns
+// materialize lazily as analysis kernels ask for them. The result is
+// byte-identical to analyzing the filtered event set in memory.
 func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -146,14 +169,25 @@ func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, 
 			return nil, fmt.Errorf("reading %s: %w", path, err)
 		}
 		t0 := time.Now()
-		tb, err := colstore.FromBlocks(br, opt.Parallelism)
+		stats := &colstore.ScanStats{}
+		spec := colstore.ScanSpec{Filter: opt.Filter}
+		tb, err := colstore.FromBlocksSpec(br, opt.Parallelism, spec, stats)
 		if err != nil {
 			return nil, fmt.Errorf("reading %s: %w", path, err)
 		}
 		if opt.Stats != nil {
 			opt.Stats.Columnarize = time.Since(t0)
 		}
-		return core.AnalyzeTable(br.Header(), tb, opt), nil
+		c, err := core.AnalyzeTable(br.Header(), tb, opt)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		// Snapshot after analysis: lazily materialized columns add their
+		// decoded bytes during the kernels' Require calls.
+		if opt.Stats != nil {
+			opt.Stats.Scan = stats.Snapshot()
+		}
+		return c, nil
 	}
 
 	sc, err := trace.NewScanner(f)
@@ -163,9 +197,21 @@ func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, 
 	t0 := time.Now()
 	b := colstore.NewBuilder()
 	buf := make([]trace.Event, 8192)
+	m := opt.Filter.NewMatcher()
+	filtered := !opt.Filter.Empty()
+	var rowsTotal int64
 	for {
 		n, err := sc.Next(buf)
-		b.AppendEvents(buf[:n])
+		if filtered {
+			for i := range buf[:n] {
+				if m.MatchEvent(&buf[i]) {
+					b.Append(&buf[i])
+				}
+			}
+		} else {
+			b.AppendEvents(buf[:n])
+		}
+		rowsTotal += int64(n)
 		if err == io.EOF {
 			break
 		}
@@ -176,8 +222,16 @@ func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, 
 	tb := b.Finish()
 	if opt.Stats != nil {
 		opt.Stats.Columnarize = time.Since(t0)
+		opt.Stats.Scan = colstore.ScanCounters{
+			RowsTotal: rowsTotal,
+			RowsKept:  int64(tb.Len()),
+		}
 	}
-	return core.AnalyzeTable(sc.Header(), tb, opt), nil
+	c, err := core.AnalyzeTable(sc.Header(), tb, opt)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return c, nil
 }
 
 // Advise maps a characterization to storage-configuration recommendations
@@ -271,6 +325,64 @@ func WriteTraceFormat(w io.Writer, tr *Trace, f TraceFormat) error {
 // ReadTrace decodes a trace written by WriteTrace or WriteTraceFormat; the
 // format is sniffed from the magic.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// ReadTraceFiltered loads a trace file keeping only events matching the
+// filter. VANITRC2 logs consult the footer index first, skipping blocks the
+// per-block statistics rule out; other formats decode fully and filter in
+// memory. Event order is preserved, so the result equals FilterEvents over
+// the full decode.
+func ReadTraceFiltered(path string, f TraceFilter) (*Trace, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+
+	var head [8]byte
+	if _, err := io.ReadFull(fh, head[:]); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, trace.ErrBadFormat)
+	}
+	if _, err := fh.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if format, ok := trace.SniffMagic(head[:]); !ok || format != trace.FormatV2 {
+		tr, err := trace.Read(fh)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		tr.Events = trace.FilterEvents(tr.Events, f)
+		return tr, nil
+	}
+
+	info, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	br, err := trace.NewBlockReader(fh, info.Size())
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	m := f.NewMatcher()
+	tr := br.Header()
+	var evs []trace.Event
+	var block []trace.Event
+	for k := 0; k < br.NumBlocks(); k++ {
+		if m.SkipBlock(br.BlockAt(k)) {
+			continue
+		}
+		block, err = br.DecodeEvents(k, block[:0])
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		for i := range block {
+			if m.MatchEvent(&block[i]) {
+				evs = append(evs, block[i])
+			}
+		}
+	}
+	tr.Events = evs
+	return tr, nil
+}
 
 // CaseStudy is the outcome of a baseline-vs-optimized comparison, the
 // experiment design of Figures 7 and 8.
