@@ -1,0 +1,92 @@
+// Command vanid is the always-on characterization service: it accepts
+// trace uploads over HTTP, characterizes them on a bounded worker pool,
+// and serves the resulting reports from a content-addressed cache.
+//
+// Usage:
+//
+//	vanid -addr :8080 -workers 4 -queue-depth 64 -cache-entries 256
+//
+// Upload a trace and poll the job:
+//
+//	curl -s --data-binary @trace.trc 'http://localhost:8080/v1/traces?window=1s:30s&ranks=0-15'
+//	curl -s http://localhost:8080/v1/jobs/j00000001
+//	curl -s http://localhost:8080/v1/reports/<report_id>
+//
+// On SIGTERM or SIGINT the daemon stops accepting work, drains queued and
+// running jobs (bounded by -drain-timeout), and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vani/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (for port-0 scripting)")
+	workers := flag.Int("workers", 4, "characterization worker pool size")
+	queueDepth := flag.Int("queue-depth", 64, "bounded job queue depth (full queue returns 429)")
+	cacheEntries := flag.Int("cache-entries", 256, "report cache capacity (LRU entries)")
+	spoolDir := flag.String("spool-dir", "", "directory for uploaded traces (default: a fresh temp dir)")
+	par := flag.Int("parallelism", 0, "per-job analyzer parallelism (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown before aborting them")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		SpoolDir:     *spoolDir,
+		Parallelism:  *par,
+	})
+	if err != nil {
+		log.Fatalf("vanid: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vanid: listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("vanid: writing -addr-file: %v", err)
+		}
+	}
+	log.Printf("vanid: listening on %s (workers=%d queue=%d cache=%d)",
+		bound, *workers, *queueDepth, *cacheEntries)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("vanid: %s: draining (timeout %s)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("vanid: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("vanid: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("vanid: drain incomplete, jobs aborted: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("vanid: drained, bye")
+}

@@ -2,8 +2,11 @@ package vani
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -423,5 +426,113 @@ func TestStageTimingsPopulated(t *testing.T) {
 	}
 	if timings.Analyze <= 0 {
 		t.Error("Analyze timing not recorded")
+	}
+}
+
+// TestConcurrentCharacterizeFile hammers CharacterizeFileWith over the same
+// on-disk log from many goroutines at once: every call must produce a
+// byte-identical YAML artifact. This is the contract vanid's worker pool
+// rests on — concurrent jobs over shared spool files share nothing mutable.
+func TestConcurrentCharacterizeFile(t *testing.T) {
+	dir := t.TempDir()
+	tr := syntheticTrace(3*16384 + 77)
+	for _, tf := range []TraceFormat{TraceFormatV1, TraceFormatV2} {
+		t.Run(tf.String(), func(t *testing.T) {
+			path := filepath.Join(dir, tf.String()+".trc")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteTraceFormat(f, tr, tf); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			opt := DefaultAnalyzerOptions()
+			opt.Filter = TraceFilter{Ranks: []int32{0, 1, 2, 3}, Ops: OpClassData}
+			want, err := CharacterizeFileWith(path, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantYAML := ToYAML(want)
+
+			const goroutines = 8
+			results := make([][]byte, goroutines)
+			errs := make([]error, goroutines)
+			var wg sync.WaitGroup
+			wg.Add(goroutines)
+			for g := 0; g < goroutines; g++ {
+				go func(g int) {
+					defer wg.Done()
+					o := DefaultAnalyzerOptions()
+					o.Filter = TraceFilter{Ranks: []int32{0, 1, 2, 3}, Ops: OpClassData}
+					o.Parallelism = 1 + g%4
+					c, err := CharacterizeFileWith(path, o)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					results[g] = ToYAML(c)
+				}(g)
+			}
+			wg.Wait()
+			for g := 0; g < goroutines; g++ {
+				if errs[g] != nil {
+					t.Fatalf("goroutine %d: %v", g, errs[g])
+				}
+				if !bytes.Equal(results[g], wantYAML) {
+					t.Errorf("goroutine %d (par=%d): YAML differs from serial run", g, 1+g%4)
+				}
+			}
+		})
+	}
+}
+
+// TestCharacterizeFileContextCanceled: an already-canceled context aborts
+// both decode paths with a bare context.Canceled, for both formats.
+func TestCharacterizeFileContextCanceled(t *testing.T) {
+	dir := t.TempDir()
+	tr := syntheticTrace(2 * 16384)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tf := range []TraceFormat{TraceFormatV1, TraceFormatV2} {
+		path := filepath.Join(dir, tf.String()+".trc")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTraceFormat(f, tr, tf); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, err = CharacterizeFileContext(ctx, path, DefaultAnalyzerOptions())
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", tf, err)
+		}
+	}
+}
+
+// TestCharacterizeContextMatches: the context variant with a background
+// context produces the same characterization as CharacterizeWith.
+func TestCharacterizeContextMatches(t *testing.T) {
+	w, err := New("hacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, equivSpec(w, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ToYAML(CharacterizeWith(res, DefaultAnalyzerOptions()))
+	c, err := CharacterizeContext(context.Background(), res, DefaultAnalyzerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, ToYAML(c)) {
+		t.Error("CharacterizeContext YAML differs from CharacterizeWith")
 	}
 }

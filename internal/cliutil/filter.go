@@ -36,19 +36,27 @@ func RegisterFilterFlags(fs *flag.FlagSet) *FilterFlags {
 // Filter compiles the parsed flag values into a trace.Filter. Call after
 // fs.Parse.
 func (ff *FilterFlags) Filter() (trace.Filter, error) {
+	return ParseFilter(*ff.window, *ff.ranks, *ff.levels, *ff.ops)
+}
+
+// ParseFilter compiles the window/ranks/levels/ops quartet into a
+// trace.Filter. This is the single parsing path shared by the CLI flags and
+// vanid's query parameters, so a spec means the same thing on both
+// surfaces. Empty strings mean "no restriction" (for ops, same as "all").
+func ParseFilter(window, ranks, levels, ops string) (trace.Filter, error) {
 	var f trace.Filter
 	var err error
-	if f.From, f.To, err = trace.ParseWindow(*ff.window); err != nil {
-		return trace.Filter{}, fmt.Errorf("-window: %w", err)
+	if f.From, f.To, err = trace.ParseWindow(window); err != nil {
+		return trace.Filter{}, fmt.Errorf("window: %w", err)
 	}
-	if f.Ranks, err = trace.ParseRanks(*ff.ranks); err != nil {
-		return trace.Filter{}, fmt.Errorf("-ranks: %w", err)
+	if f.Ranks, err = trace.ParseRanks(ranks); err != nil {
+		return trace.Filter{}, fmt.Errorf("ranks: %w", err)
 	}
-	if f.Levels, err = trace.ParseLevels(*ff.levels); err != nil {
-		return trace.Filter{}, fmt.Errorf("-levels: %w", err)
+	if f.Levels, err = trace.ParseLevels(levels); err != nil {
+		return trace.Filter{}, fmt.Errorf("levels: %w", err)
 	}
-	if f.Ops, err = trace.ParseOpClass(*ff.ops); err != nil {
-		return trace.Filter{}, fmt.Errorf("-ops: %w", err)
+	if f.Ops, err = trace.ParseOpClass(ops); err != nil {
+		return trace.Filter{}, fmt.Errorf("ops: %w", err)
 	}
 	return f, nil
 }

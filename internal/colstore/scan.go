@@ -10,6 +10,7 @@ package colstore
 // effectiveness is observable, not inferred.
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,8 +119,17 @@ func (c *Chunk) Require(want trace.ColSet) error {
 // Materialize decodes the given columns for every chunk, fanning out over
 // up to par workers. Eager tables return immediately.
 func (t *Table) Materialize(par int, want trace.ColSet) error {
+	return t.MaterializeContext(context.Background(), par, want)
+}
+
+// MaterializeContext is Materialize with cancellation: each chunk worker
+// observes ctx before decoding, so a canceled caller stops mid-table.
+func (t *Table) MaterializeContext(ctx context.Context, par int, want trace.ColSet) error {
 	errs := make([]error, len(t.chunks))
 	parallel.ForEach(par, len(t.chunks), func(k int) {
+		if errs[k] = ctx.Err(); errs[k] != nil {
+			return
+		}
 		errs[k] = t.chunks[k].Require(want)
 	})
 	for _, err := range errs {
@@ -222,6 +232,14 @@ func (c *Chunk) adopt(cols *trace.Columns, sel []int32, set trace.ColSet) {
 // decoding everything and filtering in memory, at any par. stats may be
 // nil.
 func FromBlocksSpec(br *trace.BlockReader, par int, spec ScanSpec, stats *ScanStats) (*Table, error) {
+	return FromBlocksSpecContext(context.Background(), br, par, spec, stats)
+}
+
+// FromBlocksSpecContext is FromBlocksSpec with cancellation: every block
+// worker observes ctx before reading, so a canceled or timed-out caller
+// aborts the scan mid-log instead of decoding the remaining blocks. The
+// returned error is ctx.Err() when the abort was a cancellation.
+func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, spec ScanSpec, stats *ScanStats) (*Table, error) {
 	if stats == nil {
 		stats = &ScanStats{}
 	}
@@ -229,12 +247,15 @@ func FromBlocksSpec(br *trace.BlockReader, par int, spec ScanSpec, stats *ScanSt
 	nb := br.NumBlocks()
 	stats.BlocksTotal.Add(int64(nb))
 	if br.BlockEvents() != ChunkRows {
-		return fromBlocksSpecSlow(br, spec, m, stats)
+		return fromBlocksSpecSlow(ctx, br, spec, m, stats)
 	}
 	fcols := spec.Filter.Cols()
 	chunks := make([]*Chunk, nb)
 	errs := make([]error, nb)
 	parallel.ForEach(par, nb, func(k int) {
+		if errs[k] = ctx.Err(); errs[k] != nil {
+			return
+		}
 		if m.SkipBlock(br.BlockAt(k)) {
 			stats.BlocksPruned.Add(1)
 			return
@@ -351,10 +372,13 @@ func selectRows(m *trace.Matcher, cols *trace.Columns, have trace.ColSet) []int3
 
 // fromBlocksSpecSlow serves non-default block geometries: blocks still
 // prune from the index, but surviving events re-chunk through a Builder.
-func fromBlocksSpecSlow(br *trace.BlockReader, spec ScanSpec, m *trace.Matcher, stats *ScanStats) (*Table, error) {
+func fromBlocksSpecSlow(ctx context.Context, br *trace.BlockReader, spec ScanSpec, m *trace.Matcher, stats *ScanStats) (*Table, error) {
 	b := NewBuilder()
 	nb := br.NumBlocks()
 	for k := 0; k < nb; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if m.SkipBlock(br.BlockAt(k)) {
 			stats.BlocksPruned.Add(1)
 			continue

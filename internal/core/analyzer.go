@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -116,6 +117,27 @@ func Analyze(tr *trace.Trace, opt Options) *Characterization {
 	return c
 }
 
+// AnalyzeContext is Analyze with cancellation: the chunk-parallel scan
+// workers observe ctx, so a canceled or timed-out caller aborts mid-scan.
+// With a background context it never fails and matches Analyze exactly.
+func AnalyzeContext(ctx context.Context, tr *trace.Trace, opt Options) (*Characterization, error) {
+	opt.fill()
+	evs := tr.Events
+	if !opt.Filter.Empty() {
+		evs = trace.FilterEvents(evs, opt.Filter)
+		if opt.Stats != nil {
+			opt.Stats.Scan.RowsTotal = int64(len(tr.Events))
+			opt.Stats.Scan.RowsKept = int64(len(evs))
+		}
+	}
+	t0 := time.Now()
+	tb := colstore.FromEvents(evs, opt.Parallelism)
+	if opt.Stats != nil {
+		opt.Stats.Columnarize = time.Since(t0)
+	}
+	return AnalyzeTableContext(ctx, tr, tb, opt)
+}
+
 // AnalyzeTable builds the characterization from a columnar table plus the
 // trace header carrying its metadata and interning tables (hdr.Events is
 // never touched, so traces streamed off disk need not materialize one).
@@ -124,9 +146,17 @@ func Analyze(tr *trace.Trace, opt Options) *Characterization {
 // surface here. opt.Filter is NOT applied — the table is assumed to have
 // been built under it.
 func AnalyzeTable(hdr *trace.Trace, tb *colstore.Table, opt Options) (*Characterization, error) {
+	return AnalyzeTableContext(context.Background(), hdr, tb, opt)
+}
+
+// AnalyzeTableContext is AnalyzeTable with cancellation: the chunk-parallel
+// scan workers observe ctx per chunk, so a canceled or timed-out caller
+// aborts the analysis mid-scan. The returned error is ctx.Err() when the
+// abort was a cancellation.
+func AnalyzeTableContext(ctx context.Context, hdr *trace.Trace, tb *colstore.Table, opt Options) (*Characterization, error) {
 	opt.fill()
 	t0 := time.Now()
-	a := &analysis{tr: hdr, tb: tb, opt: opt, par: opt.Parallelism}
+	a := &analysis{ctx: ctx, tr: hdr, tb: tb, opt: opt, par: opt.Parallelism}
 	c, err := a.run()
 	if err != nil {
 		return nil, err
@@ -138,6 +168,7 @@ func AnalyzeTable(hdr *trace.Trace, tb *colstore.Table, opt Options) (*Character
 }
 
 type analysis struct {
+	ctx context.Context
 	tr  *trace.Trace // header only: Meta, Apps, Files, Samples
 	tb  *colstore.Table
 	opt Options
@@ -225,7 +256,10 @@ func (a *analysis) run() (*Characterization, error) {
 	}
 	// The post passes random-access small row subsets across many columns;
 	// materialize their declared set up front rather than per accessor call.
-	if err := a.tb.Materialize(a.par, postCols); err != nil {
+	if err := a.tb.MaterializeContext(a.ctx, a.par, postCols); err != nil {
+		return nil, err
+	}
+	if err := a.ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -295,6 +329,9 @@ func (a *analysis) fusedScan() error {
 	// Pass 1: resolve primary levels and global scan facts.
 	p1 := make([]*pass1, nchunks)
 	parallel.ForEach(a.par, nchunks, func(k int) {
+		if errs[k] = a.ctx.Err(); errs[k] != nil {
+			return
+		}
 		c := a.tb.ChunkAt(k)
 		if errs[k] = c.Require(pass1Cols); errs[k] != nil {
 			return
@@ -362,6 +399,9 @@ func (a *analysis) fusedScan() error {
 	bins := a.opt.TimelineBins
 	p2 := make([]*pass2, nchunks)
 	parallel.ForEach(a.par, nchunks, func(k int) {
+		if errs[k] = a.ctx.Err(); errs[k] != nil {
+			return
+		}
 		c := a.tb.ChunkAt(k)
 		if errs[k] = c.Require(pass2Cols); errs[k] != nil {
 			return

@@ -1,0 +1,122 @@
+package server
+
+// The job queue: a bounded channel drained by a fixed worker pool. The
+// channel's capacity IS the backpressure policy — enqueue is a non-blocking
+// send, and a full queue turns into 429 + Retry-After at the HTTP edge
+// instead of unbounded memory growth. Workers run characterizations under
+// the server's base context, so shutdown can either drain (close the
+// channel, let workers finish) or abort (cancel the context, in-flight scans
+// stop at the next chunk boundary).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"vani"
+	"vani/internal/colstore"
+	"vani/internal/trace"
+)
+
+// jobState is the lifecycle of a characterization job.
+type jobState string
+
+const (
+	jobQueued  jobState = "queued"
+	jobRunning jobState = "running"
+	jobDone    jobState = "done"
+	jobFailed  jobState = "failed"
+)
+
+// job is one queued characterization: a spooled trace plus a filter spec.
+type job struct {
+	id       string
+	reportID string
+	traceSHA string
+	path     string // content-addressed spool file
+	filter   trace.Filter
+
+	mu    sync.Mutex
+	state jobState
+	errs  string
+
+	done chan struct{} // closed when the job reaches done or failed
+}
+
+func (j *job) setState(st jobState, errMsg string) {
+	j.mu.Lock()
+	j.state = st
+	j.errs = errMsg
+	j.mu.Unlock()
+}
+
+// status snapshots the job for the API.
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{ID: j.id, ReportID: j.reportID, Status: string(j.state), Error: j.errs}
+}
+
+// jobStatus is the JSON shape of GET /v1/jobs/{id} and the upload response.
+type jobStatus struct {
+	ID       string `json:"id,omitempty"`
+	ReportID string `json:"report_id"`
+	Status   string `json:"status"`
+	Error    string `json:"error,omitempty"`
+}
+
+// worker drains the queue until it is closed (graceful drain) or the base
+// context is canceled (forced abort, observed inside the characterization).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob characterizes one spooled trace and publishes the report.
+func (s *Server) runJob(j *job) {
+	if s.beforeJob != nil {
+		s.beforeJob() // test hook: hold workers to fill the queue
+	}
+	j.setState(jobRunning, "")
+	s.metrics.JobsRunning.Add(1)
+	defer s.metrics.JobsRunning.Add(-1)
+
+	rep, sc, err := s.characterize(s.baseCtx, j.path, j.filter, j.reportID)
+	if err != nil {
+		j.setState(jobFailed, err.Error())
+		s.metrics.JobsFailed.Add(1)
+		close(j.done)
+		return
+	}
+	s.cache.Put(rep)
+	s.metrics.AddScan(sc)
+	s.metrics.JobsDone.Add(1)
+	j.setState(jobDone, "")
+	close(j.done)
+}
+
+// characterize runs the analyzer over the spooled trace at path exactly the
+// way cmd/vani does — same default storage model, same filter pushdown, same
+// YAML renderer — so the served artifact is byte-identical to the CLI's.
+func (s *Server) characterize(ctx context.Context, path string, f trace.Filter, id string) (*report, colstore.ScanCounters, error) {
+	opt := vani.DefaultAnalyzerOptions()
+	opt.Storage = s.storageCfg()
+	opt.Parallelism = s.cfg.Parallelism
+	opt.Filter = f
+	var timings vani.AnalyzerTimings
+	opt.Stats = &timings
+
+	c, err := vani.CharacterizeFileContext(ctx, path, opt)
+	if err != nil {
+		return nil, colstore.ScanCounters{}, err
+	}
+	js, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, colstore.ScanCounters{}, fmt.Errorf("encoding report: %w", err)
+	}
+	js = append(js, '\n')
+	return &report{ID: id, YAML: vani.ToYAML(c), JSON: js}, timings.Scan, nil
+}

@@ -1,0 +1,86 @@
+package server
+
+// Expvar-style counters. Everything is a plain atomic so handler and worker
+// goroutines update without locks; /metrics takes a point-in-time snapshot.
+// The scan totals aggregate colstore.ScanCounters across every completed
+// job, which makes pushdown effectiveness (blocks pruned, bytes decoded vs
+// available) observable fleet-wide rather than per run.
+
+import (
+	"encoding/json"
+	"sync/atomic"
+
+	"vani/internal/colstore"
+)
+
+// Metrics holds the daemon's counters.
+type Metrics struct {
+	JobsQueued   atomic.Int64 // jobs accepted onto the queue
+	JobsRunning  atomic.Int64 // gauge: jobs currently characterizing
+	JobsDone     atomic.Int64 // jobs completed successfully
+	JobsFailed   atomic.Int64 // jobs that errored or were canceled
+	JobsRejected atomic.Int64 // uploads bounced with 429 (queue full)
+	CacheHits    atomic.Int64 // report served without analyzer work
+	CacheMisses  atomic.Int64 // upload that had to run the analyzer
+
+	// Scan-plan totals summed over completed jobs (core.Timings.Scan).
+	ScanBlocksTotal  atomic.Int64
+	ScanBlocksPruned atomic.Int64
+	ScanRowsTotal    atomic.Int64
+	ScanRowsKept     atomic.Int64
+	ScanPayloadBytes atomic.Int64
+	ScanDecodedBytes atomic.Int64
+}
+
+// AddScan folds one job's scan counters into the totals.
+func (m *Metrics) AddScan(sc colstore.ScanCounters) {
+	m.ScanBlocksTotal.Add(sc.BlocksTotal)
+	m.ScanBlocksPruned.Add(sc.BlocksPruned)
+	m.ScanRowsTotal.Add(sc.RowsTotal)
+	m.ScanRowsKept.Add(sc.RowsKept)
+	m.ScanPayloadBytes.Add(sc.PayloadBytes)
+	m.ScanDecodedBytes.Add(sc.DecodedBytes)
+}
+
+// MetricsSnapshot is the JSON shape served by GET /metrics.
+type MetricsSnapshot struct {
+	JobsQueued   int64 `json:"jobs_queued"`
+	JobsRunning  int64 `json:"jobs_running"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	JobsRejected int64 `json:"jobs_rejected"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+
+	ScanBlocksTotal  int64 `json:"scan_blocks_total"`
+	ScanBlocksPruned int64 `json:"scan_blocks_pruned"`
+	ScanRowsTotal    int64 `json:"scan_rows_total"`
+	ScanRowsKept     int64 `json:"scan_rows_kept"`
+	ScanPayloadBytes int64 `json:"scan_payload_bytes"`
+	ScanDecodedBytes int64 `json:"scan_decoded_bytes"`
+}
+
+// Snapshot reads every counter.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		JobsQueued:   m.JobsQueued.Load(),
+		JobsRunning:  m.JobsRunning.Load(),
+		JobsDone:     m.JobsDone.Load(),
+		JobsFailed:   m.JobsFailed.Load(),
+		JobsRejected: m.JobsRejected.Load(),
+		CacheHits:    m.CacheHits.Load(),
+		CacheMisses:  m.CacheMisses.Load(),
+
+		ScanBlocksTotal:  m.ScanBlocksTotal.Load(),
+		ScanBlocksPruned: m.ScanBlocksPruned.Load(),
+		ScanRowsTotal:    m.ScanRowsTotal.Load(),
+		ScanRowsKept:     m.ScanRowsKept.Load(),
+		ScanPayloadBytes: m.ScanPayloadBytes.Load(),
+		ScanDecodedBytes: m.ScanDecodedBytes.Load(),
+	}
+}
+
+// MarshalJSON serves the snapshot, so a *Metrics can be encoded directly.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}

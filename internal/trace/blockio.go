@@ -765,20 +765,23 @@ func NewBlockReader(r io.ReaderAt, size int64) (*BlockReader, error) {
 	sr := &reader{r: bufio.NewReaderSize(io.NewSectionReader(r, 0, size), 1<<16)}
 	head := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(sr.r, head); err != nil {
-		return nil, badf("%v", err)
+		return nil, readErr(err)
 	}
 	if string(head) != magicV2 {
 		return nil, badf("bad magic %q (not a VANITRC2 log)", head)
 	}
 	hdr, err := readHeader(sr)
 	if err != nil {
+		if IsCtxErr(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
 	}
 	be := sr.uvarint()
 	nEvents := sr.uvarint()
 	nBlocks := sr.uvarint()
 	if sr.err != nil {
-		return nil, badf("%v", sr.err)
+		return nil, readErr(sr.err)
 	}
 	if be == 0 || be > maxBlockEvents {
 		return nil, badf("block size %d", be)
@@ -796,6 +799,9 @@ func NewBlockReader(r io.ReaderAt, size int64) (*BlockReader, error) {
 	}
 	var trailer [trailerLen]byte
 	if _, err := r.ReadAt(trailer[:], size-trailerLen); err != nil {
+		if IsCtxErr(err) {
+			return nil, err
+		}
 		return nil, badf("footer trailer: %v", err)
 	}
 	var hasStats bool
@@ -822,6 +828,9 @@ func NewBlockReader(r io.ReaderAt, size int64) (*BlockReader, error) {
 	foot := make([]byte, footLen)
 	footStart := size - trailerLen - int64(footLen)
 	if _, err := r.ReadAt(foot, footStart); err != nil {
+		if IsCtxErr(err) {
+			return nil, err
+		}
 		return nil, badf("footer: %v", err)
 	}
 	c := &byteCursor{b: foot}
@@ -916,6 +925,9 @@ func (br *BlockReader) readBlockPayload(k int) ([]byte, bool, error) {
 	bi := br.blocks[k]
 	frame := make([]byte, bi.Len)
 	if _, err := br.r.ReadAt(frame, bi.Offset); err != nil {
+		if IsCtxErr(err) {
+			return nil, false, err // canceled read, not corrupt input
+		}
 		return nil, false, badf("block %d: %v", k, err)
 	}
 	payload, columnar, err := unwrapFrame(frame)

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for vanid: generate a trace, serve it through the
+# daemon, and assert the HTTP report is byte-identical to the CLI's YAML
+# for the same trace and filter spec. Exercises upload, job polling, report
+# fetch, the cache-hit path, and metrics.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+VANID_PID=""
+cleanup() {
+  [ -n "$VANID_PID" ] && kill "$VANID_PID" 2>/dev/null || true
+  [ -n "$VANID_PID" ] && wait "$VANID_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cd "$ROOT"
+echo "== building =="
+go build -o "$WORK/wrun" ./cmd/wrun
+go build -o "$WORK/vani" ./cmd/vani
+go build -o "$WORK/vanid" ./cmd/vanid
+
+echo "== generating quickstart trace (hacc, 8 nodes, 0.1 scale) =="
+"$WORK/wrun" -w hacc -nodes 8 -scale 0.1 -o "$WORK/trace.trc" >/dev/null
+
+FILTER_WINDOW="1s:30s"
+FILTER_RANKS="0-15"
+
+echo "== CLI reference report =="
+"$WORK/vani" -t "$WORK/trace.trc" -window "$FILTER_WINDOW" -ranks "$FILTER_RANKS" \
+  -yaml "$WORK/cli.yaml" >/dev/null
+
+echo "== starting vanid =="
+"$WORK/vanid" -addr 127.0.0.1:0 -addr-file "$WORK/addr" -workers 2 \
+  -spool-dir "$WORK/spool" &
+VANID_PID=$!
+
+for i in $(seq 1 100); do
+  [ -s "$WORK/addr" ] && break
+  kill -0 "$VANID_PID" 2>/dev/null || { echo "vanid died during startup"; exit 1; }
+  sleep 0.1
+done
+ADDR="$(cat "$WORK/addr" | tr -d '[:space:]')"
+BASE="http://$ADDR"
+
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== uploading trace =="
+UPLOAD="$(curl -fsS --data-binary @"$WORK/trace.trc" \
+  "$BASE/v1/traces?window=$FILTER_WINDOW&ranks=$FILTER_RANKS")"
+echo "$UPLOAD"
+JOB_ID="$(printf '%s' "$UPLOAD" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+REPORT_ID="$(printf '%s' "$UPLOAD" | sed -n 's/.*"report_id": *"\([^"]*\)".*/\1/p')"
+[ -n "$JOB_ID" ] || { echo "no job id in upload response"; exit 1; }
+[ -n "$REPORT_ID" ] || { echo "no report id in upload response"; exit 1; }
+
+echo "== polling job $JOB_ID =="
+STATUS=""
+for i in $(seq 1 200); do
+  JOB="$(curl -fsS "$BASE/v1/jobs/$JOB_ID")"
+  STATUS="$(printf '%s' "$JOB" | sed -n 's/.*"status": *"\([^"]*\)".*/\1/p')"
+  case "$STATUS" in
+    done) break ;;
+    failed) echo "job failed: $JOB"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$STATUS" = "done" ] || { echo "job did not finish: $STATUS"; exit 1; }
+
+echo "== fetching report $REPORT_ID =="
+curl -fsS "$BASE/v1/reports/$REPORT_ID" -o "$WORK/http.yaml"
+
+echo "== diffing HTTP report vs CLI output =="
+cmp "$WORK/cli.yaml" "$WORK/http.yaml" || {
+  echo "FAIL: served report differs from CLI output"
+  diff "$WORK/cli.yaml" "$WORK/http.yaml" | head -20
+  exit 1
+}
+echo "reports are byte-identical"
+
+echo "== re-uploading (must be a cache hit) =="
+SECOND="$(curl -fsS --data-binary @"$WORK/trace.trc" \
+  "$BASE/v1/traces?window=$FILTER_WINDOW&ranks=$FILTER_RANKS")"
+printf '%s' "$SECOND" | grep -q '"status": *"done"' || {
+  echo "FAIL: second upload was not served from cache: $SECOND"; exit 1
+}
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS"
+HITS="$(printf '%s' "$METRICS" | sed -n 's/.*"cache_hits": *\([0-9]*\).*/\1/p')"
+[ "${HITS:-0}" -ge 1 ] || { echo "FAIL: no cache hit recorded"; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$VANID_PID"
+wait "$VANID_PID"
+VANID_PID=""
+echo "SMOKE OK"

@@ -17,6 +17,7 @@
 package vani
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -146,6 +147,31 @@ func CharacterizeFile(path string, cfg *StorageConfig) (*Characterization, error
 // materialize lazily as analysis kernels ask for them. The result is
 // byte-identical to analyzing the filtered event set in memory.
 func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, error) {
+	return CharacterizeFileContext(context.Background(), path, opt)
+}
+
+// CharacterizeContext is CharacterizeWith with cancellation: the analyzer's
+// chunk-parallel workers observe ctx, so a canceled or timed-out caller
+// aborts the analysis mid-scan. The returned error is ctx.Err() when the
+// abort was a cancellation; with a background context it never fails and
+// matches CharacterizeWith exactly.
+func CharacterizeContext(ctx context.Context, res *Result, opt AnalyzerOptions) (*Characterization, error) {
+	if opt.Storage == nil {
+		cfg := res.Spec.Storage
+		opt.Storage = &cfg
+	}
+	if opt.Stats != nil {
+		opt.Stats.TraceMerge = res.TraceMerge
+	}
+	return core.AnalyzeContext(ctx, res.Trace, opt)
+}
+
+// CharacterizeFileContext is CharacterizeFileWith with cancellation: ctx is
+// threaded through the block reader's physical reads, the column scans, and
+// the analyzer's chunk-parallel workers, so a canceled or timed-out request
+// stops decoding mid-trace instead of running the log to completion. The
+// returned error is ctx.Err() when the abort was a cancellation.
+func CharacterizeFileContext(ctx context.Context, path string, opt AnalyzerOptions) (*Characterization, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -164,23 +190,23 @@ func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, 
 		if err != nil {
 			return nil, err
 		}
-		br, err := trace.NewBlockReader(f, info.Size())
+		br, err := trace.NewBlockReader(trace.ReaderAtContext(ctx, f), info.Size())
 		if err != nil {
-			return nil, fmt.Errorf("reading %s: %w", path, err)
+			return nil, wrapReadErr(path, err)
 		}
 		t0 := time.Now()
 		stats := &colstore.ScanStats{}
 		spec := colstore.ScanSpec{Filter: opt.Filter}
-		tb, err := colstore.FromBlocksSpec(br, opt.Parallelism, spec, stats)
+		tb, err := colstore.FromBlocksSpecContext(ctx, br, opt.Parallelism, spec, stats)
 		if err != nil {
-			return nil, fmt.Errorf("reading %s: %w", path, err)
+			return nil, wrapReadErr(path, err)
 		}
 		if opt.Stats != nil {
 			opt.Stats.Columnarize = time.Since(t0)
 		}
-		c, err := core.AnalyzeTable(br.Header(), tb, opt)
+		c, err := core.AnalyzeTableContext(ctx, br.Header(), tb, opt)
 		if err != nil {
-			return nil, fmt.Errorf("reading %s: %w", path, err)
+			return nil, wrapReadErr(path, err)
 		}
 		// Snapshot after analysis: lazily materialized columns add their
 		// decoded bytes during the kernels' Require calls.
@@ -201,6 +227,9 @@ func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, 
 	filtered := !opt.Filter.Empty()
 	var rowsTotal int64
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n, err := sc.Next(buf)
 		if filtered {
 			for i := range buf[:n] {
@@ -227,11 +256,21 @@ func CharacterizeFileWith(path string, opt AnalyzerOptions) (*Characterization, 
 			RowsKept:  int64(tb.Len()),
 		}
 	}
-	c, err := core.AnalyzeTable(sc.Header(), tb, opt)
+	c, err := core.AnalyzeTableContext(ctx, sc.Header(), tb, opt)
 	if err != nil {
-		return nil, fmt.Errorf("reading %s: %w", path, err)
+		return nil, wrapReadErr(path, err)
 	}
 	return c, nil
+}
+
+// wrapReadErr attributes a read-path failure to its file, but leaves
+// cancellation errors bare so errors.Is(err, context.Canceled) holds for
+// callers that gave up on purpose.
+func wrapReadErr(path string, err error) error {
+	if trace.IsCtxErr(err) {
+		return err
+	}
+	return fmt.Errorf("reading %s: %w", path, err)
 }
 
 // Advise maps a characterization to storage-configuration recommendations
