@@ -643,6 +643,60 @@ func BenchmarkTraceDecodeToTable(b *testing.B) {
 	}
 }
 
+// BenchmarkCodecMatrix measures every column codec the VANITRC2 writer
+// supports over the same 200K-event fixture: encoded size (enc-bytes) and
+// full-column-scan decode throughput (MB/s over the encoded bytes; every
+// column materialized). "v21" is the varint-only v2.1 layout, "v22-auto"
+// the per-segment cost model (VANIIDX4 footer), the forced variants pin
+// one segment codec everywhere, and the -flate rows wrap the block in an
+// outer deflate layer. The headline comparison is v22-auto against
+// v21-flate: near-flate size with none of the inflate cost on decode.
+func BenchmarkCodecMatrix(b *testing.B) {
+	codecFixtures(b)
+	wantRows := len(codecTrace.Events)
+	for _, bench := range []struct {
+		name string
+		opt  trace.V2Options
+	}{
+		{"v21", trace.V2Options{Codec: trace.CodecV21}},
+		{"v21-flate", trace.V2Options{Codec: trace.CodecV21, Compress: true}},
+		{"v22-auto", trace.V2Options{}},
+		{"v22-flate", trace.V2Options{Compress: true}},
+		{"v22-raw", trace.V2Options{Codec: trace.CodecForceRaw}},
+		{"v22-rle", trace.V2Options{Codec: trace.CodecForceRLE}},
+		{"v22-dict", trace.V2Options{Codec: trace.CodecForceDict}},
+		{"v22-for", trace.V2Options{Codec: trace.CodecForceFOR}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			if err := trace.WriteV2With(&buf, codecTrace, bench.opt); err != nil {
+				b.Fatal(err)
+			}
+			enc := buf.Bytes()
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br, err := trace.NewBlockReader(bytes.NewReader(enc), int64(len(enc)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tb, err := colstore.FromBlocks(br, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tb.Materialize(0, trace.AllCols); err != nil {
+					b.Fatal(err)
+				}
+				if tb.Len() != wantRows {
+					b.Fatalf("decoded %d rows, want %d", tb.Len(), wantRows)
+				}
+			}
+			b.ReportMetric(float64(len(enc)), "enc-bytes")
+		})
+	}
+}
+
 // BenchmarkScanPlanner measures what predicate pushdown buys on a windowed
 // scan of a block log. All cases process the same encoded log (SetBytes, so
 // MB/s compares directly): "full" materializes every row and column;

@@ -26,6 +26,7 @@ func main() {
 	think := flag.Bool("think", true, "preserve recorded think time between calls")
 	convert := flag.String("convert", "", "rewrite the loaded trace to this path (in -format) before replaying")
 	format := flag.String("format", "v2", "trace format for -convert: v2 (block-structured) or v1")
+	codec := flag.String("codec", "auto", "v2 column codec for -convert: auto (v2.2 cost model), v21, raw, rle, dict or for")
 	ff := cliutil.RegisterFilterFlags(nil)
 	flag.Parse()
 
@@ -51,12 +52,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		cm, err := vani.ParseTraceCodec(*codec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		o, err := os.Create(*convert)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := vani.WriteTraceFormat(o, tr, tf); err != nil {
+		if err := vani.WriteTraceWith(o, tr, vani.TraceWriteOptions{Format: tf, Codec: cm}); err != nil {
 			o.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -51,6 +51,7 @@ func main() {
 	par := flag.Int("par", 0, "analyzer parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	traceDir := flag.String("trace-dir", "", "also write each workload's trace into this directory")
 	format := flag.String("format", "v2", "trace format for -trace-dir: v2 (block-structured) or v1")
+	codec := flag.String("codec", "auto", "v2 column codec for -trace-dir: auto (v2.2 cost model), v21, raw, rle, dict or for")
 	verbose := flag.Bool("v", false, "print per-stage pipeline timings")
 	flag.Parse()
 
@@ -59,6 +60,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cm, err := vani.ParseTraceCodec(*codec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	wopt := vani.TraceWriteOptions{Format: tf, Codec: cm}
 
 	names := vani.Workloads()
 	if *only != "" {
@@ -98,11 +105,13 @@ func main() {
 			s := timings.Scan
 			fmt.Fprintf(os.Stderr, "    scan: blocks=%d pruned=%d rows=%d kept=%d payload=%dB decoded=%dB\n",
 				s.BlocksTotal, s.BlocksPruned, s.RowsTotal, s.RowsKept, s.PayloadBytes, s.DecodedBytes)
+			fmt.Fprintf(os.Stderr, "    segs: raw=%d rle=%d dict=%d for=%d\n",
+				s.SegRaw, s.SegRLE, s.SegDict, s.SegFOR)
 		}
 		cols = append(cols, report.Named{Name: display(name), C: c})
 		if *traceDir != "" {
 			path := filepath.Join(*traceDir, name+".trc")
-			if err := dumpTrace(path, res.Trace, tf); err != nil {
+			if err := dumpTrace(path, res.Trace, wopt); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 				os.Exit(1)
 			}
@@ -131,7 +140,7 @@ func defaultStorage() vani.StorageConfig {
 	return workloads.DefaultSpec().Storage
 }
 
-func dumpTrace(path string, tr *vani.Trace, tf vani.TraceFormat) error {
+func dumpTrace(path string, tr *vani.Trace, opt vani.TraceWriteOptions) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -139,7 +148,7 @@ func dumpTrace(path string, tr *vani.Trace, tf vani.TraceFormat) error {
 	if err != nil {
 		return err
 	}
-	if err := vani.WriteTraceFormat(f, tr, tf); err != nil {
+	if err := vani.WriteTraceWith(f, tr, opt); err != nil {
 		f.Close()
 		return err
 	}

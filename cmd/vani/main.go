@@ -28,6 +28,8 @@ func main() {
 	yamlOut := flag.String("yaml", "", "write the characterization as YAML to this file")
 	rewrite := flag.String("rewrite", "", "transcode the input trace to this path (in -format) before analyzing")
 	format := flag.String("format", "v2", "trace format for -rewrite: v2 (block-structured) or v1")
+	compress := flag.Bool("compress", false, "flate-compress v2 event blocks for -rewrite")
+	codec := flag.String("codec", "auto", "v2 column codec for -rewrite: auto (v2.2 cost model), v21, raw, rle, dict or for")
 	par := flag.Int("par", 0, "analyzer parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print per-stage pipeline timings and scan counters")
 	ff := cliutil.RegisterFilterFlags(nil)
@@ -48,11 +50,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if err := transcode(*traceFile, *rewrite, tf); err != nil {
+		cm, err := vani.ParseTraceCodec(*codec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wopt := vani.TraceWriteOptions{Format: tf, Compress: *compress, Codec: cm}
+		if err := transcode(*traceFile, *rewrite, wopt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "rewrote %s as %s (%s)\n", *traceFile, *rewrite, tf)
+		fmt.Fprintf(os.Stderr, "rewrote %s as %s (%s, codec %s)\n", *traceFile, *rewrite, tf, cm)
 	}
 	// Stream the trace from disk into column chunks: the event log never
 	// materializes in memory, so arbitrarily large traces analyze fine.
@@ -74,6 +82,8 @@ func main() {
 		s := timings.Scan
 		fmt.Fprintf(os.Stderr, "scan: blocks=%d pruned=%d rows=%d kept=%d payload=%dB decoded=%dB\n",
 			s.BlocksTotal, s.BlocksPruned, s.RowsTotal, s.RowsKept, s.PayloadBytes, s.DecodedBytes)
+		fmt.Fprintf(os.Stderr, "segs: raw=%d rle=%d dict=%d for=%d\n",
+			s.SegRaw, s.SegRLE, s.SegDict, s.SegFOR)
 	}
 
 	if *tables {
@@ -106,9 +116,10 @@ func main() {
 	}
 }
 
-// transcode reads a trace in either format and rewrites it in tf — the
-// migration path for VANITRC1 logs captured before the block format.
-func transcode(in, out string, tf vani.TraceFormat) error {
+// transcode reads a trace in either format and rewrites it under opt — the
+// migration path for VANITRC1 logs captured before the block format, and
+// for re-encoding old v2 logs with the v2.2 codecs.
+func transcode(in, out string, opt vani.TraceWriteOptions) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -122,7 +133,7 @@ func transcode(in, out string, tf vani.TraceFormat) error {
 	if err != nil {
 		return err
 	}
-	if err := vani.WriteTraceFormat(o, tr, tf); err != nil {
+	if err := vani.WriteTraceWith(o, tr, opt); err != nil {
 		o.Close()
 		return fmt.Errorf("writing %s: %w", out, err)
 	}

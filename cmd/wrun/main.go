@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"vani"
-	"vani/internal/trace"
 )
 
 func main() {
@@ -26,6 +25,7 @@ func main() {
 	out := flag.String("o", "", "trace output file (empty = don't write)")
 	format := flag.String("format", "v2", "trace format: v2 (block-structured, parallel decode) or v1")
 	compress := flag.Bool("compress", false, "flate-compress v2 event blocks")
+	codec := flag.String("codec", "auto", "v2 column codec: auto (v2.2 cost model), v21, raw, rle, dict or for")
 	optimized := flag.Bool("optimized", false, "apply the workload's case-study optimization")
 	overhead := flag.Duration("trace-overhead", 0, "per-event tracer overhead")
 	flag.Parse()
@@ -37,6 +37,15 @@ func main() {
 	}
 	if *compress && tf != vani.TraceFormatV2 {
 		fmt.Fprintln(os.Stderr, "-compress requires -format v2")
+		os.Exit(2)
+	}
+	cm, err := vani.ParseTraceCodec(*codec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if cm != vani.TraceCodecAuto && tf != vani.TraceFormatV2 {
+		fmt.Fprintln(os.Stderr, "-codec requires -format v2")
 		os.Exit(2)
 	}
 
@@ -81,7 +90,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := writeTrace(f, res.Trace, tf, *compress); err != nil {
+		opt := vani.TraceWriteOptions{Format: tf, Compress: *compress, Codec: cm}
+		if err := vani.WriteTraceWith(f, res.Trace, opt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -92,13 +102,6 @@ func main() {
 		fi, _ := os.Stat(*out)
 		fmt.Printf("trace      : %s (%s)\n", *out, mb(fi.Size()))
 	}
-}
-
-func writeTrace(f *os.File, tr *vani.Trace, tf vani.TraceFormat, compress bool) error {
-	if tf == vani.TraceFormatV2 && compress {
-		return trace.WriteV2With(f, tr, trace.V2Options{Compress: true})
-	}
-	return vani.WriteTraceFormat(f, tr, tf)
 }
 
 func mb(b int64) string {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -157,6 +158,123 @@ func TestFormatEquivalence(t *testing.T) {
 					t.Errorf("%s: %s characterization differs from in-memory (par=%d)", name, variant, par)
 				}
 			}
+		}
+	}
+}
+
+// TestCodecMatrixEquivalence is the v2.2 contract: every workload trace,
+// encoded under every layout and segment-codec strategy — VANITRC1, v2 row
+// blocks, v2.1 raw varints, v2.2 with the cost model and with each codec
+// forced on, with and without the flate outer layer — characterizes to a
+// YAML artifact byte-identical to the in-memory analysis, at sequential,
+// fixed-parallel and NumCPU decode.
+func TestCodecMatrixEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	variants := map[string]trace.V2Options{
+		"v2row":      {RowLayout: true},
+		"v21":        {Codec: trace.CodecV21},
+		"v21flate":   {Codec: trace.CodecV21, Compress: true},
+		"v22auto":    {Codec: trace.CodecAuto},
+		"v22flate":   {Codec: trace.CodecAuto, Compress: true},
+		"v22raw":     {Codec: trace.CodecForceRaw},
+		"v22rle":     {Codec: trace.CodecForceRLE},
+		"v22dict":    {Codec: trace.CodecForceDict},
+		"v22for":     {Codec: trace.CodecForceFOR},
+		"v22forflat": {Codec: trace.CodecForceFOR, Compress: true},
+	}
+	pars := []int{1, 4, runtime.NumCPU()}
+	for _, name := range Workloads() {
+		w, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w, equivSpec(w, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfg := res.Spec.Storage
+		refOpt := DefaultAnalyzerOptions()
+		refOpt.Storage = &cfg
+		want := ToYAML(CharacterizeWith(res, refOpt))
+
+		check := func(variant, path string) {
+			t.Helper()
+			for _, par := range pars {
+				opt := DefaultAnalyzerOptions()
+				opt.Storage = &cfg
+				opt.Parallelism = par
+				c, err := CharacterizeFileWith(path, opt)
+				if err != nil {
+					t.Fatalf("%s %s par=%d: %v", name, variant, par, err)
+				}
+				if got := ToYAML(c); !bytes.Equal(want, got) {
+					t.Errorf("%s: %s characterization differs from in-memory (par=%d)", name, variant, par)
+				}
+			}
+		}
+
+		v1Path := filepath.Join(dir, name+"-v1.trc")
+		f, err := os.Create(v1Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTraceFormat(f, res.Trace, TraceFormatV1); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		check("v1", v1Path)
+
+		for variant, vopt := range variants {
+			path := filepath.Join(dir, name+"-"+variant+".trc")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteV2With(f, res.Trace, vopt); err != nil {
+				t.Fatalf("%s %s: %v", name, variant, err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			check(variant, path)
+		}
+	}
+}
+
+// TestCodecSizeGuard is the size regression gate CI runs on the v2.2 cost
+// model: on every example workload trace, auto mode with the outer flate
+// layer engaged must land within 5% of the v2.1 flate encoding it replaces
+// (auto competes against the all-raw payload post-flate per block, so it
+// can only lose by frame overhead). A cost-model regression — a codec
+// mispriced, the flate-aware fallback dropped — shows up here before it
+// shows up in the published bench record.
+func TestCodecSizeGuard(t *testing.T) {
+	const maxRatio = 1.05
+	for _, name := range Workloads() {
+		w, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w, equivSpec(w, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		size := func(opt trace.V2Options) int {
+			var buf bytes.Buffer
+			if err := trace.WriteV2With(&buf, res.Trace, opt); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return buf.Len()
+		}
+		auto := size(trace.V2Options{Compress: true})
+		v21Flate := size(trace.V2Options{Codec: trace.CodecV21, Compress: true})
+		ratio := float64(auto) / float64(v21Flate)
+		t.Logf("%-16s v22-auto=%d v21-flate=%d ratio=%.3f", name, auto, v21Flate, ratio)
+		if ratio > maxRatio {
+			t.Errorf("%s: v2.2 auto encoding is %d bytes, %.1f%% larger than v2.1 flate (%d bytes); limit is %.0f%%",
+				name, auto, (ratio-1)*100, v21Flate, (maxRatio-1)*100)
 		}
 	}
 }

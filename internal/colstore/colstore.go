@@ -55,6 +55,11 @@ type Chunk struct {
 	End    []int64 // nanoseconds
 
 	lazy *lazySrc // undecoded remainder; nil once fully materialized
+
+	// runs holds RLE run summaries for the groupable key columns, captured
+	// from v2.2 block payloads when the chunk keeps every block row. Nil
+	// entries mean no summary; run-aware kernels fall back to row iteration.
+	runs [numKeyCols][]trace.Run
 }
 
 func newChunk(base, rows int) *Chunk {

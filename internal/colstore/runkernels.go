@@ -1,0 +1,204 @@
+package colstore
+
+// Run-aware scan kernels. The v2.2 trace format RLE-encodes key columns
+// that arrive in runs (rank and node after the k-way merge, app and file in
+// phase-structured workloads); DecodeRuns surfaces those runs without
+// expanding them to rows, and the kernels below consume them directly —
+// counting a 16K-row chunk by a handful of run lengths instead of 16K
+// comparisons, and skipping Size decodes entirely for chunks whose runs
+// rule every row out. Results are exactly equal to the row-iteration
+// fallback at any parallelism.
+
+import (
+	"math"
+	"math/bits"
+
+	"vani/internal/parallel"
+	"vani/internal/trace"
+)
+
+// numKeyCols is the number of groupable key columns (ColRank..ColFile).
+const numKeyCols = 4
+
+// traceCol returns the trace-layer column set bit for a key column.
+func (col Col) traceCol() trace.ColSet {
+	switch col {
+	case ColRank:
+		return trace.ColRank
+	case ColNode:
+		return trace.ColNode
+	case ColApp:
+		return trace.ColApp
+	case ColFile:
+		return trace.ColFile
+	}
+	return 0
+}
+
+// captureRuns snapshots the RLE run summaries of the groupable key columns
+// from a whole-block chunk (sel == nil: chunk rows are exactly the block's
+// rows, in order). Runs whose values would fail the column's decode
+// validation are dropped, so a captured summary always agrees with the
+// materialized column.
+func (c *Chunk) captureRuns(bd *trace.BlockData) {
+	for col := ColRank; col < Col(numKeyCols); col++ {
+		idx := bits.TrailingZeros64(uint64(col.traceCol()))
+		runs, err := bd.DecodeRuns(idx)
+		if err != nil || runs == nil {
+			continue
+		}
+		ok := true
+		lo := int64(math.MinInt32)
+		if col == ColRank || col == ColNode {
+			lo = 0 // ranks and nodes are non-negative int32s
+		}
+		for _, r := range runs {
+			if r.Val < lo || r.Val > math.MaxInt32 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			c.runs[col] = runs
+		}
+	}
+}
+
+// HasRuns reports whether the chunk carries a run summary for the key
+// column (observability for tests and benchmarks).
+func (c *Chunk) HasRuns(col Col) bool { return c.runs[col] != nil }
+
+// runsMatching counts the rows of c whose key column equals val using the
+// run summary. Valid only when c.runs[col] != nil.
+func (c *Chunk) runsMatching(col Col, val int32) int64 {
+	var n int64
+	for _, r := range c.runs[col] {
+		if int32(r.Val) == val {
+			n += int64(r.N)
+		}
+	}
+	return n
+}
+
+// CountEq counts rows whose key column equals val, chunk-parallel. Chunks
+// carrying a run summary are counted from run lengths without materializing
+// (or iterating) the column.
+func (t *Table) CountEq(par int, col Col, val int32) (int64, error) {
+	parts := make([]int64, len(t.chunks))
+	errs := make([]error, len(t.chunks))
+	set := col.traceCol()
+	parallel.ForEach(par, len(t.chunks), func(k int) {
+		c := t.chunks[k]
+		if c.runs[col] != nil {
+			parts[k] = c.runsMatching(col, val)
+			return
+		}
+		if errs[k] = c.Require(set); errs[k] != nil {
+			return
+		}
+		var n int64
+		for _, v := range c.col(col) {
+			if v == val {
+				n++
+			}
+		}
+		parts[k] = n
+	})
+	var n int64
+	for k := range parts {
+		if errs[k] != nil {
+			return 0, errs[k]
+		}
+		n += parts[k]
+	}
+	return n, nil
+}
+
+// SumSizeEq sums the Size column over rows whose key column equals val,
+// chunk-parallel. With a run summary the key column is never iterated: only
+// the Size spans of matching runs are read, and chunks with no matching run
+// skip the Size decode entirely.
+func (t *Table) SumSizeEq(par int, col Col, val int32) (int64, error) {
+	parts := make([]int64, len(t.chunks))
+	errs := make([]error, len(t.chunks))
+	set := col.traceCol()
+	parallel.ForEach(par, len(t.chunks), func(k int) {
+		c := t.chunks[k]
+		if runs := c.runs[col]; runs != nil {
+			if c.runsMatching(col, val) == 0 {
+				return // no matching rows: Size never decoded
+			}
+			if errs[k] = c.Require(trace.ColSize); errs[k] != nil {
+				return
+			}
+			var sum int64
+			row := 0
+			for _, r := range runs {
+				if int32(r.Val) == val {
+					for _, s := range c.Size[row : row+int(r.N)] {
+						sum += s
+					}
+				}
+				row += int(r.N)
+			}
+			parts[k] = sum
+			return
+		}
+		if errs[k] = c.Require(set | trace.ColSize); errs[k] != nil {
+			return
+		}
+		keys := c.col(col)
+		var sum int64
+		for j := 0; j < c.N; j++ {
+			if keys[j] == val {
+				sum += c.Size[j]
+			}
+		}
+		parts[k] = sum
+	})
+	var sum int64
+	for k := range parts {
+		if errs[k] != nil {
+			return 0, errs[k]
+		}
+		sum += parts[k]
+	}
+	return sum, nil
+}
+
+// ValueHist builds the value→row-count histogram of a key column,
+// chunk-parallel. Chunks carrying a run summary contribute one increment
+// per run instead of one per row.
+func (t *Table) ValueHist(par int, col Col) (map[int32]int64, error) {
+	parts := make([]map[int32]int64, len(t.chunks))
+	errs := make([]error, len(t.chunks))
+	set := col.traceCol()
+	parallel.ForEach(par, len(t.chunks), func(k int) {
+		c := t.chunks[k]
+		h := make(map[int32]int64)
+		if runs := c.runs[col]; runs != nil {
+			for _, r := range runs {
+				h[int32(r.Val)] += int64(r.N)
+			}
+			parts[k] = h
+			return
+		}
+		if errs[k] = c.Require(set); errs[k] != nil {
+			return
+		}
+		for _, v := range c.col(col) {
+			h[v]++
+		}
+		parts[k] = h
+	})
+	out := make(map[int32]int64)
+	for k := range parts {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+		for v, n := range parts[k] {
+			out[v] += n
+		}
+	}
+	return out, nil
+}

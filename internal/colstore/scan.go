@@ -44,6 +44,11 @@ type ScanStats struct {
 	RowsKept     atomic.Int64 // rows surviving the residual filter
 	PayloadBytes atomic.Int64 // unwrapped payload bytes of blocks read
 	DecodedBytes atomic.Int64 // payload bytes actually varint-decoded
+
+	// Segs counts the v2.2 column segments decoded, by segment codec id —
+	// the codec mix the cost model actually chose on this log. All zero for
+	// v1/v2.0/v2.1 input.
+	Segs [trace.NumSegCodecs]atomic.Int64
 }
 
 // ScanCounters is a plain-value snapshot of ScanStats, suitable for
@@ -55,6 +60,12 @@ type ScanCounters struct {
 	RowsKept     int64
 	PayloadBytes int64
 	DecodedBytes int64
+
+	// Decoded v2.2 column segments by codec (the log's codec mix).
+	SegRaw  int64
+	SegRLE  int64
+	SegDict int64
+	SegFOR  int64
 }
 
 // Snapshot reads every counter.
@@ -66,6 +77,23 @@ func (s *ScanStats) Snapshot() ScanCounters {
 		RowsKept:     s.RowsKept.Load(),
 		PayloadBytes: s.PayloadBytes.Load(),
 		DecodedBytes: s.DecodedBytes.Load(),
+		SegRaw:       s.Segs[0].Load(),
+		SegRLE:       s.Segs[1].Load(),
+		SegDict:      s.Segs[2].Load(),
+		SegFOR:       s.Segs[3].Load(),
+	}
+}
+
+// countSegs tallies the codec of every decoded column segment of set into
+// the codec-mix counters. A no-op for blocks without v2.2 codec metadata.
+func (s *ScanStats) countSegs(bd *trace.BlockData, set trace.ColSet) {
+	for col := 0; col < trace.NumCols; col++ {
+		if set&(trace.ColSet(1)<<col) == 0 {
+			continue
+		}
+		if id, ok := bd.SegCodec(col); ok {
+			s.Segs[id].Add(1)
+		}
 	}
 }
 
@@ -109,6 +137,7 @@ func (c *Chunk) Require(want trace.ColSet) error {
 	l.have |= got
 	if l.stats != nil {
 		l.stats.DecodedBytes.Add(decoded)
+		l.stats.countSegs(l.bd, got)
 	}
 	if l.have == trace.AllCols {
 		l.bd = nil // payload no longer needed; let it go
@@ -282,8 +311,10 @@ func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, 
 				if !bd.Projectable() {
 					src.have = trace.AllCols
 				}
+				stats.countSegs(bd, src.have)
 				ck.adopt(&cols, nil, src.have)
 			}
+			ck.captureRuns(bd)
 			if src.have != trace.AllCols {
 				ck.lazy = src
 			}
@@ -303,6 +334,7 @@ func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, 
 		if !bd.Projectable() {
 			have = trace.AllCols
 		}
+		stats.countSegs(bd, have)
 		sel := selectRows(m, &cols, have)
 		stats.RowsKept.Add(int64(len(sel)))
 		if len(sel) == 0 {
@@ -313,6 +345,9 @@ func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, 
 			sel = nil // whole block kept: adopt slices without copying
 		}
 		ck.adopt(&cols, sel, have)
+		if sel == nil {
+			ck.captureRuns(bd)
+		}
 		if have != trace.AllCols {
 			ck.lazy = &lazySrc{bd: bd, sel: sel, have: have, stats: stats}
 		}
@@ -395,6 +430,7 @@ func fromBlocksSpecSlow(ctx context.Context, br *trace.BlockReader, spec ScanSpe
 			return nil, err
 		}
 		stats.DecodedBytes.Add(decoded)
+		stats.countSegs(bd, trace.AllCols)
 		for j := 0; j < cols.N; j++ {
 			if !m.Match(cols.Level[j], cols.Op[j], cols.Rank[j], cols.Start[j]) {
 				continue

@@ -30,6 +30,12 @@ type Metrics struct {
 	ScanRowsKept     atomic.Int64
 	ScanPayloadBytes atomic.Int64
 	ScanDecodedBytes atomic.Int64
+
+	// v2.2 column segments decoded, by codec (the served logs' codec mix).
+	ScanSegRaw  atomic.Int64
+	ScanSegRLE  atomic.Int64
+	ScanSegDict atomic.Int64
+	ScanSegFOR  atomic.Int64
 }
 
 // AddScan folds one job's scan counters into the totals.
@@ -40,6 +46,10 @@ func (m *Metrics) AddScan(sc colstore.ScanCounters) {
 	m.ScanRowsKept.Add(sc.RowsKept)
 	m.ScanPayloadBytes.Add(sc.PayloadBytes)
 	m.ScanDecodedBytes.Add(sc.DecodedBytes)
+	m.ScanSegRaw.Add(sc.SegRaw)
+	m.ScanSegRLE.Add(sc.SegRLE)
+	m.ScanSegDict.Add(sc.SegDict)
+	m.ScanSegFOR.Add(sc.SegFOR)
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics.
@@ -58,6 +68,11 @@ type MetricsSnapshot struct {
 	ScanRowsKept     int64 `json:"scan_rows_kept"`
 	ScanPayloadBytes int64 `json:"scan_payload_bytes"`
 	ScanDecodedBytes int64 `json:"scan_decoded_bytes"`
+
+	ScanSegRaw  int64 `json:"scan_segs_raw"`
+	ScanSegRLE  int64 `json:"scan_segs_rle"`
+	ScanSegDict int64 `json:"scan_segs_dict"`
+	ScanSegFOR  int64 `json:"scan_segs_for"`
 }
 
 // Snapshot reads every counter.
@@ -77,6 +92,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ScanRowsKept:     m.ScanRowsKept.Load(),
 		ScanPayloadBytes: m.ScanPayloadBytes.Load(),
 		ScanDecodedBytes: m.ScanDecodedBytes.Load(),
+
+		ScanSegRaw:  m.ScanSegRaw.Load(),
+		ScanSegRLE:  m.ScanSegRLE.Load(),
+		ScanSegDict: m.ScanSegDict.Load(),
+		ScanSegFOR:  m.ScanSegFOR.Load(),
 	}
 }
 

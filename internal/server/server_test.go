@@ -193,6 +193,80 @@ func TestUploadToReportMatchesCLI(t *testing.T) {
 	}
 }
 
+// testTraceV2Bytes encodes the synthetic trace under explicit V2Options —
+// the codec-variant uploads below.
+func testTraceV2Bytes(t *testing.T, opt trace.V2Options, n int) []byte {
+	t.Helper()
+	tr := trace.NewTracer()
+	tr.SetMeta(trace.Meta{Workload: "synthetic", Nodes: 4, Ranks: 16, PFSDir: "/p/gpfs1"})
+	file := tr.FileID("/p/gpfs1/data")
+	for i := 0; i < n; i++ {
+		start := time.Duration(i) * time.Microsecond
+		op := trace.OpWrite
+		if i%3 == 0 {
+			op = trace.OpRead
+		}
+		tr.Record(trace.Event{
+			Level: trace.LevelPosix, Op: op, Rank: int32(i % 16),
+			File: file, Offset: int64(i) * 4096, Size: 4096,
+			Start: start, End: start + time.Microsecond,
+		})
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteV2With(&buf, tr.Finish(), opt); err != nil {
+		t.Fatalf("encoding trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestCodecVariantUploadsServeIdenticalReports uploads the same trace
+// encoded under every v2 codec strategy (v2.2 auto and each forced codec,
+// plus the v2.1 layout, with and without flate) and asserts every served
+// YAML report is byte-identical — and that decoding a v2.2 upload shows up
+// in the /metrics codec-mix counters.
+func TestCodecVariantUploadsServeIdenticalReports(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	variants := []trace.V2Options{
+		{Codec: trace.CodecAuto},
+		{Codec: trace.CodecAuto, Compress: true},
+		{Codec: trace.CodecV21},
+		{Codec: trace.CodecV21, Compress: true},
+		{Codec: trace.CodecForceRaw},
+		{Codec: trace.CodecForceRLE},
+		{Codec: trace.CodecForceDict},
+		{Codec: trace.CodecForceFOR},
+	}
+	var want []byte
+	for i, opt := range variants {
+		body := testTraceV2Bytes(t, opt, 30000)
+		code, st := upload(t, ts, "/v1/traces?ops=data", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("variant %d: upload status %d, want 202", i, code)
+		}
+		final := pollJob(t, ts, st.ID)
+		if final.Status != string(jobDone) {
+			t.Fatalf("variant %d: job failed: %+v", i, final)
+		}
+		code, yaml, _ := getReport(t, ts, st.ReportID, "")
+		if code != http.StatusOK {
+			t.Fatalf("variant %d: report status %d", i, code)
+		}
+		if i == 0 {
+			want = yaml
+		} else if !bytes.Equal(yaml, want) {
+			t.Fatalf("variant %d (codec=%v compress=%v): served YAML differs from v2.2 auto",
+				i, opt.Codec, opt.Compress)
+		}
+	}
+	m := getMetrics(t, ts)
+	if total := m.ScanSegRaw + m.ScanSegRLE + m.ScanSegDict + m.ScanSegFOR; total == 0 {
+		t.Error("v2.2 uploads decoded but codec-mix counters are all zero")
+	}
+}
+
 // TestCacheHitSkipsAnalyzer uploads the same trace with the same spec
 // twice: the second upload must be answered from the cache with no analyzer
 // work, observable in the metrics counters.

@@ -19,6 +19,11 @@ import (
 // min/max rank, level/op bitmasks, and per-column segment byte lengths.
 const footerMagicV3 = "VANIIDX3"
 
+// footerMagicV4 marks the v2.2 footer: v2.1 entries extended with the
+// per-column segment codec ids, so codec-mix statistics and run-aware scan
+// planning never have to touch block bytes.
+const footerMagicV4 = "VANIIDX4"
+
 // Columnar block payload codecs. The payload is:
 //
 //	uvarint count
@@ -35,6 +40,23 @@ const footerMagicV3 = "VANIIDX3"
 const (
 	codecRawCol   = 2
 	codecFlateCol = 3
+)
+
+// v2.2 columnar payload codecs: the same segment order, but every segment
+// begins with a codec id byte and its body uses the segment codec it names
+// (see segcodec.go). Flate remains an optional outer layer.
+const (
+	codecRawColV22   = 4
+	codecFlateColV22 = 5
+)
+
+// payloadKind identifies a block payload layout after frame unwrapping.
+type payloadKind int
+
+const (
+	payloadRow    payloadKind = iota // PR 2 row-interleaved events
+	payloadCol                       // v2.1 columnar, raw-varint segments
+	payloadColV22                    // v2.2 columnar, per-segment codecs
 )
 
 // blockStatsCol computes a block's full v2.1 footer statistics: time and
@@ -181,18 +203,66 @@ func decodeColSegment(c *byteCursor, col, n int, cols *Columns) error {
 	return c.err
 }
 
-// encodeColumnarFrame encodes one block's events as a columnar payload
+// encodeColumnarFrame encodes one block's events as a v2.1 columnar payload
 // wrapped in a frame, returning the footer entry (pruning stats plus the
 // per-column byte ranges the projected read path seeks by).
 func encodeColumnarFrame(evs []Event, compress bool) ([]byte, BlockInfo) {
 	bi := blockStatsCol(evs)
-	payload := binary.AppendUvarint(make([]byte, 0, 16+minEventBytes*2*len(evs)), uint64(len(evs)))
+	pp := getPayloadBuf(16 + minEventBytes*2*len(evs))
+	payload := binary.AppendUvarint((*pp)[:0], uint64(len(evs)))
 	for col := 0; col < NumCols; col++ {
 		n := len(payload)
 		payload = appendColSegment(payload, col, evs)
 		bi.ColLens[col] = int64(len(payload) - n)
 	}
-	return wrapFrame(payload, compress, true), bi
+	frame := wrapFrame(payload, compress, payloadCol)
+	*pp = payload
+	putPayloadBuf(pp)
+	return frame, bi
+}
+
+// encodeColumnarFrameV22 encodes one block's events as a v2.2 columnar
+// payload: every segment carries its codec id byte and the body the cost
+// model (or the forced codec, when force >= 0) chose. The footer entry
+// records the per-segment byte ranges and codec ids.
+func encodeColumnarFrameV22(evs []Event, compress bool, force int) ([]byte, BlockInfo) {
+	bi := blockStatsCol(evs)
+	bi.HasCodecs = true
+	sc := segScratchPool.Get().(*segScratch)
+	pp := getPayloadBuf(16 + minEventBytes*2*len(evs))
+	payload := binary.AppendUvarint((*pp)[:0], uint64(len(evs)))
+	for col := 0; col < NumCols; col++ {
+		n := len(payload)
+		payload, bi.SegCodecs[col] = appendSegV22(payload, col, evs, force, sc)
+		bi.ColLens[col] = int64(len(payload) - n)
+	}
+	frame := wrapFrame(payload, compress, payloadColV22)
+	if compress && force < 0 {
+		// Deflate feeds on exactly the byte-level redundancy the
+		// lightweight codecs strip: a bitpacked or dictionary segment is
+		// near-incompressible while its raw varint form often deflates
+		// below it. Under an outer flate layer, auto mode therefore also
+		// tries the all-raw payload and keeps whichever frame compressed
+		// smaller — per block, so the choice stays deterministic at any
+		// encode parallelism.
+		rawBi := bi
+		rp := getPayloadBuf(16 + minEventBytes*2*len(evs))
+		raw := binary.AppendUvarint((*rp)[:0], uint64(len(evs)))
+		for col := 0; col < NumCols; col++ {
+			n := len(raw)
+			raw, rawBi.SegCodecs[col] = appendSegV22(raw, col, evs, segRaw, sc)
+			rawBi.ColLens[col] = int64(len(raw) - n)
+		}
+		if rawFrame := wrapFrame(raw, true, payloadColV22); len(rawFrame) < len(frame) {
+			frame, bi = rawFrame, rawBi
+		}
+		*rp = raw
+		putPayloadBuf(rp)
+	}
+	segScratchPool.Put(sc)
+	*pp = payload
+	putPayloadBuf(pp)
+	return frame, bi
 }
 
 // decodeBlockColumnsSeq decodes a columnar payload sequentially — every
@@ -210,6 +280,30 @@ func decodeBlockColumnsSeq(payload []byte, blockEvents int, cols *Columns) error
 	cols.grow(int(count))
 	for col := 0; col < NumCols; col++ {
 		if err := decodeColSegment(c, col, int(count), cols); err != nil {
+			return fmt.Errorf("%s column: %w", colNames[col], err)
+		}
+	}
+	if c.off != len(payload) {
+		return badf("%d trailing bytes after block columns", len(payload)-c.off)
+	}
+	return nil
+}
+
+// decodeBlockColumnsSeqV22 is decodeBlockColumnsSeq for v2.2 payloads: each
+// segment is self-describing (codec id byte first), so sequential readers
+// decode without any footer metadata.
+func decodeBlockColumnsSeqV22(payload []byte, blockEvents int, cols *Columns) error {
+	c := &byteCursor{b: payload}
+	count := c.uvarint()
+	if c.err != nil {
+		return c.err
+	}
+	if err := checkPayloadCount(count, len(payload), blockEvents, payloadColV22); err != nil {
+		return err
+	}
+	cols.grow(int(count))
+	for col := 0; col < NumCols; col++ {
+		if err := decodeSegV22(c, col, int(count), cols); err != nil {
 			return fmt.Errorf("%s column: %w", colNames[col], err)
 		}
 	}
@@ -249,13 +343,15 @@ func colsToEvents(cols *Columns, dst []Event) []Event {
 // materialization behind the chunk's lock).
 type BlockData struct {
 	payload     []byte
-	columnar    bool
+	kind        payloadKind
 	projectable bool
 	count       int
 	blockEvents int
 	block       int
 	segBase     int
 	colLens     [NumCols]int64
+	segCodecs   [NumCols]uint8
+	hasCodecs   bool
 }
 
 // Count returns the number of events in the block.
@@ -271,22 +367,24 @@ func (bd *BlockData) Projectable() bool { return bd.projectable }
 
 // ReadBlock fetches and unwraps block k, validating the payload's count
 // prefix and — for projectable blocks — that the footer's column byte
-// ranges tile the payload exactly. The returned BlockData is independent of
-// the reader's file handle.
+// ranges tile the payload exactly. v2.2 payloads additionally validate each
+// segment's leading codec id (and its agreement with the footer's, when the
+// footer carries codec ids). The returned BlockData is independent of the
+// reader's file handle.
 func (br *BlockReader) ReadBlock(k int) (*BlockData, error) {
-	payload, columnar, err := br.readBlockPayload(k)
+	payload, kind, err := br.readBlockPayload(k)
 	if err != nil {
 		return nil, err
 	}
 	bi := br.blocks[k]
 	bd := &BlockData{
 		payload:     payload,
-		columnar:    columnar,
+		kind:        kind,
 		count:       bi.Count,
 		blockEvents: br.blockEvents,
 		block:       k,
 	}
-	if !columnar {
+	if kind == payloadRow {
 		return bd, nil
 	}
 	c := &byteCursor{b: payload}
@@ -294,7 +392,7 @@ func (br *BlockReader) ReadBlock(k int) (*BlockData, error) {
 	if c.err != nil {
 		return nil, fmt.Errorf("block %d: %w", k, c.err)
 	}
-	if err := checkBlockCount(count, len(payload), br.blockEvents); err != nil {
+	if err := checkPayloadCount(count, len(payload), br.blockEvents, kind); err != nil {
 		return nil, fmt.Errorf("block %d: %w", k, err)
 	}
 	if int(count) != bi.Count {
@@ -311,8 +409,62 @@ func (br *BlockReader) ReadBlock(k int) (*BlockData, error) {
 		bd.segBase = c.off
 		bd.colLens = bi.ColLens
 		bd.projectable = true
+		if kind == payloadColV22 {
+			// Each segment leads with its codec id; validate it and check
+			// it against the footer's claim when one exists.
+			off := int64(c.off)
+			for col := 0; col < NumCols; col++ {
+				if bi.ColLens[col] < 1 {
+					return nil, badf("block %d %s column: empty v2.2 segment", k, colNames[col])
+				}
+				id := payload[off]
+				if id >= numSegCodecs {
+					return nil, badf("block %d %s column: unknown segment codec %d", k, colNames[col], id)
+				}
+				if bi.HasCodecs && id != bi.SegCodecs[col] {
+					return nil, badf("block %d %s column: payload codec %d, footer says %d", k, colNames[col], id, bi.SegCodecs[col])
+				}
+				bd.segCodecs[col] = id
+				off += bi.ColLens[col]
+			}
+			bd.hasCodecs = true
+		}
 	}
 	return bd, nil
+}
+
+// SegCodec returns the segment codec id of the given column for v2.2
+// projectable blocks, and whether codec ids are known at all.
+func (bd *BlockData) SegCodec(col int) (uint8, bool) {
+	if !bd.hasCodecs {
+		return 0, false
+	}
+	return bd.segCodecs[col], true
+}
+
+// DecodeRuns decodes the RLE run summary of a value column without
+// expanding rows — the input to colstore's run-aware scan kernels. It
+// returns (nil, nil) when the column is not RLE-coded (or the block is not
+// a projectable v2.2 block); Start and End never qualify because their
+// segments store delta chains, whose runs are not value runs.
+func (bd *BlockData) DecodeRuns(col int) ([]Run, error) {
+	set := ColSet(1) << col
+	if !bd.hasCodecs || bd.segCodecs[col] != segRLE || set&(ColStart|ColEnd) != 0 {
+		return nil, nil
+	}
+	off := int64(bd.segBase)
+	for i := 0; i < col; i++ {
+		off += bd.colLens[i]
+	}
+	c := &byteCursor{b: bd.payload[off+1 : off+bd.colLens[col]]}
+	runs, err := decodeSegRuns(c, bd.count, set&unsignedCols != 0)
+	if err != nil {
+		return nil, fmt.Errorf("block %d %s column: %w", bd.block, colNames[col], err)
+	}
+	if c.off != len(c.b) {
+		return nil, badf("block %d %s column: %d trailing bytes", bd.block, colNames[col], len(c.b)-c.off)
+	}
+	return runs, nil
 }
 
 // Decode materializes the requested columns into cols, growing it to the
@@ -324,9 +476,12 @@ func (br *BlockReader) ReadBlock(k int) (*BlockData, error) {
 func (bd *BlockData) Decode(want ColSet, cols *Columns) (int64, error) {
 	if !bd.projectable {
 		var err error
-		if bd.columnar {
+		switch bd.kind {
+		case payloadColV22:
+			err = decodeBlockColumnsSeqV22(bd.payload, bd.blockEvents, cols)
+		case payloadCol:
 			err = decodeBlockColumnsSeq(bd.payload, bd.blockEvents, cols)
-		} else {
+		default:
 			err = decodeBlockColumns(bd.payload, bd.blockEvents, cols)
 		}
 		if err != nil {
@@ -345,7 +500,13 @@ func (bd *BlockData) Decode(want ColSet, cols *Columns) (int64, error) {
 		cl := bd.colLens[col]
 		if want&(ColSet(1)<<col) != 0 {
 			c := &byteCursor{b: bd.payload[off : off+cl]}
-			if err := decodeColSegment(c, col, bd.count, cols); err != nil {
+			var err error
+			if bd.kind == payloadColV22 {
+				err = decodeSegV22(c, col, bd.count, cols)
+			} else {
+				err = decodeColSegment(c, col, bd.count, cols)
+			}
+			if err != nil {
 				return decoded, fmt.Errorf("block %d %s column: %w", bd.block, colNames[col], err)
 			}
 			if c.off != int(cl) {

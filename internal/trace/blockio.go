@@ -16,7 +16,8 @@ package trace
 //	uvarint blockCount    == ceil(eventCount/blockEvents)
 //	blockCount × frame:
 //	    byte codec            0 = raw row, 1 = flate row,
-//	                          2 = raw columnar, 3 = flate columnar
+//	                          2 = raw columnar, 3 = flate columnar,
+//	                          4 = raw columnar v2.2, 5 = flate columnar v2.2
 //	    uvarint rawLen        decoded payload length in bytes
 //	    [uvarint compLen]     only for flate codecs
 //	    payload               rawLen raw bytes, or compLen flate bytes
@@ -32,7 +33,9 @@ package trace
 //	        varint  minRank, maxRank
 //	        uvarint levelMask, opMask   occupancy bitmasks
 //	        NumCols × uvarint colLen    per-column segment byte lengths
-//	(either footer ends with a fixed-size trailer)
+//	footer (v2.2, trailer magic "VANIIDX4"): each v2.1 entry followed by
+//	        NumCols × byte segCodec     per-column segment codec ids
+//	(every footer ends with a fixed-size trailer)
 //	    8 bytes LE footerLen  bytes from "uvarint blockCount" through entries
 //	    footer magic (8 bytes)
 //
@@ -44,10 +47,15 @@ package trace
 //	count × event: uvarint Level, Op, Lib; varint Rank, Node, App, File,
 //	               Offset, Size, Start-prev, End-Start   (prev starts at base)
 //
-// Columnar block payload (codecs 2/3, the default): see blockcol.go — one
-// independent segment per column, byte-ranged by the v2.1 footer, so a scan
-// plan decodes only the columns it names and skips blocks its predicates
-// rule out.
+// Columnar block payload (codecs 2/3, written under Codec: CodecV21): see
+// blockcol.go — one independent segment per column, byte-ranged by the
+// v2.1 footer, so a scan plan decodes only the columns it names and skips
+// blocks its predicates rule out.
+//
+// v2.2 columnar payload (codecs 4/5, the default): the same segment order,
+// but every segment leads with a codec id byte and its body uses the
+// lightweight encoding a per-block cost model chose — RLE, dictionary,
+// frame-of-reference bit-packing, or the v2.1 raw varints (segcodec.go).
 //
 // Every block decodes with no state from its neighbors, so encode fans out
 // over the worker pool at write time and decode fans out at read time —
@@ -62,6 +70,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"vani/internal/parallel"
@@ -150,22 +159,101 @@ func badf(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: "+format, append([]interface{}{ErrBadFormat}, args...)...)
 }
 
+// CodecMode selects the columnar segment encoding the VANITRC2 writer
+// uses. The zero value (CodecAuto) writes v2.2 payloads with per-segment
+// codecs chosen by the cost model; CodecV21 writes the raw-varint v2.1
+// layout; the remaining modes force one segment codec everywhere (the
+// equivalence matrix exercises every decode kernel through them).
+type CodecMode int
+
+const (
+	// CodecAuto (the default) writes v2.2 payloads, each segment encoded
+	// with the codec the per-block cost model picks.
+	CodecAuto CodecMode = iota
+	// CodecV21 writes the v2.1 raw-varint columnar layout (VANIIDX3).
+	CodecV21
+	// CodecForceRaw..CodecForceFOR write v2.2 payloads with every segment
+	// forced to one codec, regardless of size.
+	CodecForceRaw
+	CodecForceRLE
+	CodecForceDict
+	CodecForceFOR
+)
+
+// String returns the flag-style name.
+func (m CodecMode) String() string {
+	switch m {
+	case CodecAuto:
+		return "auto"
+	case CodecV21:
+		return "v21"
+	case CodecForceRaw:
+		return "raw"
+	case CodecForceRLE:
+		return "rle"
+	case CodecForceDict:
+		return "dict"
+	case CodecForceFOR:
+		return "for"
+	}
+	return fmt.Sprintf("CodecMode(%d)", int(m))
+}
+
+// ParseCodecMode parses a flag-style codec mode name.
+func ParseCodecMode(s string) (CodecMode, error) {
+	switch s {
+	case "auto", "":
+		return CodecAuto, nil
+	case "v21", "v2.1", "off":
+		return CodecV21, nil
+	case "raw":
+		return CodecForceRaw, nil
+	case "rle":
+		return CodecForceRLE, nil
+	case "dict":
+		return CodecForceDict, nil
+	case "for", "pack":
+		return CodecForceFOR, nil
+	}
+	return 0, fmt.Errorf("unknown codec mode %q (want auto, v21, raw, rle, dict or for)", s)
+}
+
+// forceSeg maps a CodecMode to the forced segment codec id, or -1 for the
+// cost model.
+func (m CodecMode) forceSeg() int {
+	switch m {
+	case CodecForceRaw:
+		return segRaw
+	case CodecForceRLE:
+		return segRLE
+	case CodecForceDict:
+		return segDict
+	case CodecForceFOR:
+		return segFOR
+	}
+	return -1
+}
+
 // V2Options tunes the VANITRC2 writer.
 type V2Options struct {
 	// BlockEvents is the number of events per block; 0 means
 	// DefaultBlockEvents. Values above maxBlockEvents are clamped.
 	BlockEvents int
 	// Compress flate-compresses block payloads (size-prefixed), trading
-	// encode/decode CPU for trace size.
+	// encode/decode CPU for trace size. With the default v2.2 codecs the
+	// segments are already compact, so flate is an optional outer layer.
 	Compress bool
 	// Parallelism bounds the encode workers (0 = GOMAXPROCS, 1 = inline).
 	// The output bytes are identical at every setting.
 	Parallelism int
 	// RowLayout writes the legacy v2.0 row-interleaved block payloads and
-	// VANIIDX2 footer instead of the default columnar payloads + VANIIDX3
-	// footer. Row-layout logs decode everywhere but cannot serve projected
-	// (per-column) reads.
+	// VANIIDX2 footer instead of columnar payloads. Row-layout logs decode
+	// everywhere but cannot serve projected (per-column) reads.
 	RowLayout bool
+	// Codec selects the columnar segment encoding (ignored under
+	// RowLayout). The zero value is CodecAuto: v2.2 with per-segment
+	// cost-model choice.
+	Codec CodecMode
 }
 
 // WriteFormat encodes the trace to out in the requested format, with
@@ -209,6 +297,8 @@ func WriteV2With(out io.Writer, t *Trace, opt V2Options) error {
 
 	// Fan block encoding out over the worker pool; frames land in their
 	// block's slot and are written strictly in block order below.
+	v22 := !opt.RowLayout && opt.Codec != CodecV21
+	force := opt.Codec.forceSeg()
 	frames := make([][]byte, nBlocks)
 	infos := make([]BlockInfo, nBlocks)
 	parallel.ForEach(opt.Parallelism, nBlocks, func(k int) {
@@ -218,10 +308,13 @@ func WriteV2With(out io.Writer, t *Trace, opt V2Options) error {
 			hi = nEvents
 		}
 		evs := t.Events[lo:hi]
-		if opt.RowLayout {
+		switch {
+		case opt.RowLayout:
 			frames[k] = encodeBlockFrame(evs, opt.Compress)
 			infos[k] = blockStats(evs)
-		} else {
+		case v22:
+			frames[k], infos[k] = encodeColumnarFrameV22(evs, opt.Compress, force)
+		default:
 			frames[k], infos[k] = encodeColumnarFrame(evs, opt.Compress)
 		}
 	})
@@ -249,13 +342,19 @@ func WriteV2With(out io.Writer, t *Trace, opt V2Options) error {
 			for _, cl := range bi.ColLens {
 				w.uvarint(uint64(cl))
 			}
+			if v22 {
+				w.raw(bi.SegCodecs[:])
+			}
 		}
 	}
 	var trailer [trailerLen]byte
 	binary.LittleEndian.PutUint64(trailer[:8], uint64(w.n-footStart))
-	if opt.RowLayout {
+	switch {
+	case opt.RowLayout:
 		copy(trailer[8:], footerMagic)
-	} else {
+	case v22:
+		copy(trailer[8:], footerMagicV4)
+	default:
 		copy(trailer[8:], footerMagicV3)
 	}
 	w.raw(trailer[:])
@@ -285,35 +384,87 @@ func blockStats(evs []Event) BlockInfo {
 // encodeBlockFrame encodes one block's events into a complete row-layout
 // frame (codec byte, lengths, payload).
 func encodeBlockFrame(evs []Event, compress bool) []byte {
-	payload := appendBlockPayload(make([]byte, 0, 16+minEventBytes*2*len(evs)), evs)
-	return wrapFrame(payload, compress, false)
+	pp := getPayloadBuf(16 + minEventBytes*2*len(evs))
+	payload := appendBlockPayload((*pp)[:0], evs)
+	frame := wrapFrame(payload, compress, payloadRow)
+	*pp = payload
+	putPayloadBuf(pp)
+	return frame
+}
+
+// Encoder and decoder scratch pools. wrapFrame always copies the payload
+// into the returned frame (raw frames append it, flate frames compress it),
+// so encoder payload buffers recycle; flate writers, their output buffers,
+// and flate readers reset cleanly and recycle too. Decode-side frame
+// buffers recycle only on the flate path — a raw frame's payload aliases
+// the frame bytes and BlockData retains it for lazy materialization.
+var (
+	payloadBufPool = sync.Pool{New: func() interface{} {
+		b := make([]byte, 0, 1<<16)
+		return &b
+	}}
+	compBufPool     = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+	flateWriterPool = sync.Pool{New: func() interface{} {
+		fw, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		if err != nil {
+			panic(err) // impossible: level is a valid constant
+		}
+		return fw
+	}}
+	flateReaderPool = sync.Pool{New: func() interface{} {
+		return flate.NewReader(bytes.NewReader(nil))
+	}}
+	frameBufPool = sync.Pool{New: func() interface{} {
+		b := make([]byte, 0, 1<<16)
+		return &b
+	}}
+)
+
+func getPayloadBuf(capHint int) *[]byte {
+	p := payloadBufPool.Get().(*[]byte)
+	if cap(*p) < capHint {
+		*p = make([]byte, 0, capHint)
+	}
+	return p
+}
+
+func putPayloadBuf(p *[]byte) { payloadBufPool.Put(p) }
+
+// frameCodecs maps a payload kind to its raw/flate frame codec bytes.
+func frameCodecs(kind payloadKind) (raw, flated byte) {
+	switch kind {
+	case payloadCol:
+		return codecRawCol, codecFlateCol
+	case payloadColV22:
+		return codecRawColV22, codecFlateColV22
+	}
+	return codecRaw, codecFlate
 }
 
 // wrapFrame frames a block payload: codec byte, length claims, and the raw
-// or flate-compressed bytes.
-func wrapFrame(payload []byte, compress, columnar bool) []byte {
-	rawCodec, flateCodec := byte(codecRaw), byte(codecFlate)
-	if columnar {
-		rawCodec, flateCodec = codecRawCol, codecFlateCol
-	}
+// or flate-compressed bytes. The payload is copied, never retained.
+func wrapFrame(payload []byte, compress bool, kind payloadKind) []byte {
+	rawCodec, flateCodec := frameCodecs(kind)
 	if !compress {
 		frame := make([]byte, 0, len(payload)+binary.MaxVarintLen64+1)
 		frame = append(frame, rawCodec)
 		frame = binary.AppendUvarint(frame, uint64(len(payload)))
 		return append(frame, payload...)
 	}
-	var comp bytes.Buffer
-	fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
-	if err != nil {
-		panic(err) // impossible: level is a valid constant
-	}
+	comp := compBufPool.Get().(*bytes.Buffer)
+	comp.Reset()
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(comp)
 	fw.Write(payload)
 	fw.Close()
 	frame := make([]byte, 0, comp.Len()+2*binary.MaxVarintLen64+1)
 	frame = append(frame, flateCodec)
 	frame = binary.AppendUvarint(frame, uint64(len(payload)))
 	frame = binary.AppendUvarint(frame, uint64(comp.Len()))
-	return append(frame, comp.Bytes()...)
+	frame = append(frame, comp.Bytes()...)
+	flateWriterPool.Put(fw)
+	compBufPool.Put(comp)
+	return frame
 }
 
 // appendBlockPayload encodes evs as a self-contained block payload: the
@@ -387,6 +538,28 @@ func checkBlockCount(count uint64, payloadLen, blockEvents int) error {
 		return badf("block count %d exceeds block size %d", count, blockEvents)
 	}
 	if count > 0 && minEventBytes*count+2 > uint64(payloadLen) {
+		return badf("block count %d impossible for %d payload bytes", count, payloadLen)
+	}
+	return nil
+}
+
+// checkPayloadCount is the per-layout count validation. v1/v2.0/v2.1
+// payloads spend at least minEventBytes per event, so the claim must be
+// backed byte-for-byte; v2.2 run-length segments legitimately amplify (a
+// constant 16K-row column is a handful of bytes), so the claim is bounded
+// by the validated block geometry instead, each segment codec then
+// validates its own claims (run totals, dict sizes, packed lengths) against
+// real input bytes before touching memory.
+func checkPayloadCount(count uint64, payloadLen, blockEvents int, kind payloadKind) error {
+	if kind != payloadColV22 {
+		return checkBlockCount(count, payloadLen, blockEvents)
+	}
+	if count > uint64(blockEvents) || count > uint64(maxBlockEvents) {
+		return badf("block count %d exceeds block size %d", count, blockEvents)
+	}
+	// Every v2.2 segment holds at least a codec byte and the smallest body
+	// (two bytes, a width-0 FOR) when the block is non-empty.
+	if count > 0 && payloadLen < 1+3*NumCols {
 		return badf("block count %d impossible for %d payload bytes", count, payloadLen)
 	}
 	return nil
@@ -538,53 +711,70 @@ func decodeBlockColumns(payload []byte, blockEvents int, cols *Columns) error {
 	return nil
 }
 
+// framePayloadKind maps a frame codec byte to its payload layout.
+func framePayloadKind(codec byte) (payloadKind, bool) {
+	switch codec {
+	case codecRaw, codecFlate:
+		return payloadRow, true
+	case codecRawCol, codecFlateCol:
+		return payloadCol, true
+	case codecRawColV22, codecFlateColV22:
+		return payloadColV22, true
+	}
+	return 0, false
+}
+
 // unwrapFrame strips a block frame down to its raw payload, decompressing
-// if needed, and reports whether the payload uses the columnar layout.
-// Allocation is bounded by the actual frame bytes: a flate block may not
-// claim a decoded size beyond the codec's maximum ratio.
-func unwrapFrame(frame []byte) ([]byte, bool, error) {
+// if needed, and reports the payload layout. Allocation is bounded by the
+// actual frame bytes: a flate block may not claim a decoded size beyond the
+// codec's maximum ratio — the decompression-bomb guard applies identically
+// to row, v2.1 and v2.2 columnar frames.
+func unwrapFrame(frame []byte) ([]byte, payloadKind, error) {
 	if len(frame) == 0 {
-		return nil, false, badf("empty block frame")
+		return nil, 0, badf("empty block frame")
+	}
+	kind, ok := framePayloadKind(frame[0])
+	if !ok {
+		return nil, 0, badf("unknown block codec %d", frame[0])
 	}
 	c := &byteCursor{b: frame, off: 1}
-	columnar := frame[0] == codecRawCol || frame[0] == codecFlateCol
 	switch frame[0] {
-	case codecRaw, codecRawCol:
+	case codecRaw, codecRawCol, codecRawColV22:
 		rawLen := c.uvarint()
 		if c.err != nil {
-			return nil, false, c.err
+			return nil, 0, c.err
 		}
 		rest := frame[c.off:]
 		if uint64(len(rest)) != rawLen {
-			return nil, false, badf("raw block length %d != framed %d", rawLen, len(rest))
+			return nil, 0, badf("raw block length %d != framed %d", rawLen, len(rest))
 		}
-		return rest, columnar, nil
-	case codecFlate, codecFlateCol:
+		return rest, kind, nil
+	default: // codecFlate, codecFlateCol, codecFlateColV22
 		rawLen := c.uvarint()
 		compLen := c.uvarint()
 		if c.err != nil {
-			return nil, false, c.err
+			return nil, 0, c.err
 		}
 		rest := frame[c.off:]
 		if uint64(len(rest)) != compLen {
-			return nil, false, badf("compressed block length %d != framed %d", compLen, len(rest))
+			return nil, 0, badf("compressed block length %d != framed %d", compLen, len(rest))
 		}
 		if rawLen > maxFlateRatio*compLen+64 {
-			return nil, false, badf("compressed block claims %d bytes from %d", rawLen, compLen)
+			return nil, 0, badf("compressed block claims %d bytes from %d", rawLen, compLen)
 		}
-		fr := flate.NewReader(bytes.NewReader(rest))
-		defer fr.Close()
+		fr := flateReaderPool.Get().(io.ReadCloser)
+		fr.(flate.Resetter).Reset(bytes.NewReader(rest), nil)
+		defer flateReaderPool.Put(fr)
 		payload := make([]byte, rawLen)
 		if _, err := io.ReadFull(fr, payload); err != nil {
-			return nil, false, badf("inflating block: %v", err)
+			return nil, 0, badf("inflating block: %v", err)
 		}
 		var one [1]byte
 		if n, _ := fr.Read(one[:]); n != 0 {
-			return nil, false, badf("compressed block longer than declared %d bytes", rawLen)
+			return nil, 0, badf("compressed block longer than declared %d bytes", rawLen)
 		}
-		return payload, columnar, nil
+		return payload, kind, nil
 	}
-	return nil, false, badf("unknown block codec %d", frame[0])
 }
 
 // v2stream is the VANITRC2 state of a streaming Scanner: blocks decode
@@ -642,9 +832,9 @@ func (s *Scanner) readFrame() ([]byte, error) {
 	head := []byte{codec}
 	head = binary.AppendUvarint(head, rawLen)
 	switch codec {
-	case codecRaw, codecRawCol:
+	case codecRaw, codecRawCol, codecRawColV22:
 		need = rawLen
-	case codecFlate, codecFlateCol:
+	case codecFlate, codecFlateCol, codecFlateColV22:
 		compLen := r.uvarint()
 		head = binary.AppendUvarint(head, compLen)
 		need = compLen
@@ -683,6 +873,20 @@ func (s *Scanner) frameScratch() []byte {
 // the current one is drained, then copy events out.
 func (s *Scanner) nextV2(buf []Event) (int, error) {
 	v := s.v2
+	if v.buf == nil {
+		// Size the block buffer up front so the first block's transpose
+		// doesn't grow it allocation by allocation. The claim is capped so
+		// a corrupt header cannot force a large allocation before any
+		// event bytes have been read.
+		n := uint64(v.blockEvents)
+		if n > s.remaining {
+			n = s.remaining
+		}
+		if n > 1<<15 {
+			n = 1 << 15
+		}
+		v.buf = make([]Event, 0, n)
+	}
 	filled := 0
 	for filled < len(buf) && s.remaining > 0 {
 		if v.pos == len(v.buf) {
@@ -693,17 +897,23 @@ func (s *Scanner) nextV2(buf []Event) (int, error) {
 			if err != nil {
 				return filled, err
 			}
-			payload, columnar, err := unwrapFrame(frame)
+			payload, kind, err := unwrapFrame(frame)
 			if err != nil {
 				return filled, err
 			}
 			var evs []Event
-			if columnar {
+			switch kind {
+			case payloadColV22:
+				if err := decodeBlockColumnsSeqV22(payload, v.blockEvents, &v.cols); err != nil {
+					return filled, err
+				}
+				evs = colsToEvents(&v.cols, v.buf)
+			case payloadCol:
 				if err := decodeBlockColumnsSeq(payload, v.blockEvents, &v.cols); err != nil {
 					return filled, err
 				}
 				evs = colsToEvents(&v.cols, v.buf)
-			} else {
+			default:
 				evs, err = decodeBlockEvents(payload, v.blockEvents, v.buf)
 				if err != nil {
 					return filled, err
@@ -728,8 +938,9 @@ func (s *Scanner) nextV2(buf []Event) (int, error) {
 
 // BlockInfo describes one block in the VANITRC2 footer index. The v2.0
 // footer carries only the time bounds; v2.1 entries add rank bounds,
-// level/op occupancy masks, and per-column segment byte lengths
-// (HasStats reports which kind this entry is).
+// level/op occupancy masks, and per-column segment byte lengths (HasStats
+// reports which kind this entry is); v2.2 entries additionally record each
+// segment's codec id (HasCodecs).
 type BlockInfo struct {
 	Offset   int64 // absolute file offset of the block frame
 	Len      int64 // framed length in bytes
@@ -743,7 +954,12 @@ type BlockInfo struct {
 	LevelMask uint32         // bit l set ⇒ some event has Level l
 	OpMask    uint32         // bit o set ⇒ some event has Op o
 	ColLens   [NumCols]int64 // byte length of each column segment
+
+	// v2.2 codec ids (valid only when HasCodecs).
+	SegCodecs [NumCols]uint8 // segment codec id per column
+
 	HasStats  bool
+	HasCodecs bool
 }
 
 // BlockReader reads a VANITRC2 log through its footer index: the header
@@ -804,11 +1020,13 @@ func NewBlockReader(r io.ReaderAt, size int64) (*BlockReader, error) {
 		}
 		return nil, badf("footer trailer: %v", err)
 	}
-	var hasStats bool
+	var hasStats, hasCodecs bool
 	switch string(trailer[8:]) {
 	case footerMagic:
 	case footerMagicV3:
 		hasStats = true
+	case footerMagicV4:
+		hasStats, hasCodecs = true, true
 	default:
 		return nil, badf("bad footer magic %q", trailer[8:])
 	}
@@ -821,6 +1039,9 @@ func NewBlockReader(r io.ReaderAt, size int64) (*BlockReader, error) {
 	minEntry := uint64(5)
 	if hasStats {
 		minEntry = 9 + NumCols
+	}
+	if hasCodecs {
+		minEntry += NumCols
 	}
 	if nBlocks*minEntry > footLen {
 		return nil, badf("footer %d bytes too small for %d blocks", footLen, nBlocks)
@@ -870,6 +1091,19 @@ func NewBlockReader(r io.ReaderAt, size int64) (*BlockReader, error) {
 				return nil, badf("block %d column segments claim %d bytes from %d-byte frame", k, sum, bi.Len)
 			}
 			bi.HasStats = true
+			if hasCodecs {
+				ids, err := c.take(NumCols)
+				if err != nil {
+					return nil, err
+				}
+				for col, id := range ids {
+					if id >= numSegCodecs {
+						return nil, badf("block %d column %d segment codec %d", k, col, id)
+					}
+					bi.SegCodecs[col] = id
+				}
+				bi.HasCodecs = true
+			}
 		}
 		if c.err != nil {
 			return nil, c.err
@@ -919,35 +1153,49 @@ func (br *BlockReader) NumEvents() uint64 { return br.nEvents }
 // bounds) without decoding it — the seekable pruning surface.
 func (br *BlockReader) BlockAt(k int) BlockInfo { return br.blocks[k] }
 
-// readBlockPayload fetches and unwraps block k's raw payload, reporting
-// whether it uses the columnar layout.
-func (br *BlockReader) readBlockPayload(k int) ([]byte, bool, error) {
+// readBlockPayload fetches and unwraps block k's raw payload, reporting its
+// layout. Frame buffers come from a pool and recycle whenever the payload
+// does not alias them (flate frames decompress into fresh memory; raw
+// frames hand their own bytes out and the buffer leaves the pool).
+func (br *BlockReader) readBlockPayload(k int) ([]byte, payloadKind, error) {
 	bi := br.blocks[k]
-	frame := make([]byte, bi.Len)
+	fp := frameBufPool.Get().(*[]byte)
+	if int64(cap(*fp)) < bi.Len {
+		*fp = make([]byte, bi.Len)
+	}
+	frame := (*fp)[:bi.Len]
+	*fp = frame
 	if _, err := br.r.ReadAt(frame, bi.Offset); err != nil {
+		frameBufPool.Put(fp)
 		if IsCtxErr(err) {
-			return nil, false, err // canceled read, not corrupt input
+			return nil, 0, err // canceled read, not corrupt input
 		}
-		return nil, false, badf("block %d: %v", k, err)
+		return nil, 0, badf("block %d: %v", k, err)
 	}
-	payload, columnar, err := unwrapFrame(frame)
+	payload, kind, err := unwrapFrame(frame)
+	if len(frame) == 0 || (frame[0] != codecRaw && frame[0] != codecRawCol && frame[0] != codecRawColV22) {
+		frameBufPool.Put(fp) // payload (if any) is a fresh buffer
+	}
 	if err != nil {
-		return nil, false, fmt.Errorf("block %d: %w", k, err)
+		return nil, 0, fmt.Errorf("block %d: %w", k, err)
 	}
-	return payload, columnar, nil
+	return payload, kind, nil
 }
 
 // DecodeColumns decodes every column of block k into column slices, reusing
 // the capacity of cols. Safe to call concurrently for distinct cols. Use
 // ReadBlock + BlockData.Decode for projected (per-column) reads.
 func (br *BlockReader) DecodeColumns(k int, cols *Columns) error {
-	payload, columnar, err := br.readBlockPayload(k)
+	payload, kind, err := br.readBlockPayload(k)
 	if err != nil {
 		return err
 	}
-	if columnar {
+	switch kind {
+	case payloadColV22:
+		err = decodeBlockColumnsSeqV22(payload, br.blockEvents, cols)
+	case payloadCol:
 		err = decodeBlockColumnsSeq(payload, br.blockEvents, cols)
-	} else {
+	default:
 		err = decodeBlockColumns(payload, br.blockEvents, cols)
 	}
 	if err != nil {
@@ -962,18 +1210,24 @@ func (br *BlockReader) DecodeColumns(k int, cols *Columns) error {
 // DecodeEvents decodes block k into row-major events, appending into dst's
 // capacity (dst is reset). Safe to call concurrently for distinct dst.
 func (br *BlockReader) DecodeEvents(k int, dst []Event) ([]Event, error) {
-	payload, columnar, err := br.readBlockPayload(k)
+	payload, kind, err := br.readBlockPayload(k)
 	if err != nil {
 		return nil, err
 	}
 	var evs []Event
-	if columnar {
+	switch kind {
+	case payloadColV22, payloadCol:
 		var cols Columns
-		if err := decodeBlockColumnsSeq(payload, br.blockEvents, &cols); err != nil {
+		if kind == payloadColV22 {
+			err = decodeBlockColumnsSeqV22(payload, br.blockEvents, &cols)
+		} else {
+			err = decodeBlockColumnsSeq(payload, br.blockEvents, &cols)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("block %d: %w", k, err)
 		}
 		evs = colsToEvents(&cols, dst)
-	} else {
+	default:
 		evs, err = decodeBlockEvents(payload, br.blockEvents, dst)
 		if err != nil {
 			return nil, fmt.Errorf("block %d: %w", k, err)

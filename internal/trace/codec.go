@@ -150,6 +150,20 @@ func Write(out io.Writer, t *Trace) error {
 type reader struct {
 	r   *bufio.Reader
 	err error
+	// String-arena state for header decoding: strTo accumulates string
+	// bytes in strBuf and records destinations in pend; flushStrs converts
+	// the whole arena to one immutable string and hands out slices of it,
+	// so a header with hundreds of interned paths costs two allocations
+	// instead of two per string.
+	strBuf []byte
+	pend   []pendingStr
+}
+
+// pendingStr is one string awaiting arena flush: dst receives
+// arena[start:end] once the arena is frozen.
+type pendingStr struct {
+	dst        *string
+	start, end int
 }
 
 func (r *reader) uvarint() uint64 {
@@ -172,18 +186,56 @@ func (r *reader) varint() int64 {
 
 const maxStringLen = 1 << 20
 
-func (r *reader) str() string {
+// strTo reads a length-prefixed string into the arena and schedules *dst
+// to receive it at the next flushStrs. dst must stay valid until the
+// flush: point it at a field of a preallocated slice element or a local
+// that is flushed before any append can move it.
+func (r *reader) strTo(dst *string) {
 	n := r.uvarint()
 	if r.err != nil {
-		return ""
+		return
 	}
 	if n > maxStringLen {
 		r.err = fmt.Errorf("%w: string length %d", ErrBadFormat, n)
-		return ""
+		return
 	}
-	b := make([]byte, n)
-	_, r.err = io.ReadFull(r.r, b)
-	return string(b)
+	if n == 0 {
+		*dst = ""
+		return
+	}
+	start := len(r.strBuf)
+	need := start + int(n)
+	if cap(r.strBuf) < need {
+		grown := 2 * cap(r.strBuf)
+		if grown < need {
+			grown = need
+		}
+		if grown < 256 {
+			grown = 256
+		}
+		nb := make([]byte, start, grown)
+		copy(nb, r.strBuf)
+		r.strBuf = nb
+	}
+	r.strBuf = r.strBuf[:need]
+	if _, err := io.ReadFull(r.r, r.strBuf[start:]); err != nil {
+		r.err = err
+		return
+	}
+	r.pend = append(r.pend, pendingStr{dst, start, need})
+}
+
+// flushStrs freezes the arena into one string and resolves every pending
+// destination as a slice of it.
+func (r *reader) flushStrs() {
+	if len(r.pend) > 0 {
+		s := string(r.strBuf)
+		for _, p := range r.pend {
+			*p.dst = s[p.start:p.end]
+		}
+		r.pend = r.pend[:0]
+	}
+	r.strBuf = r.strBuf[:0]
 }
 
 func (r *reader) intBounded(what string, max int64) int {
@@ -197,18 +249,23 @@ func (r *reader) intBounded(what string, max int64) int {
 // readHeader decodes the format-independent trace header (the mirror of
 // writeHeader): meta, apps, files, and samples.
 func readHeader(r *reader) (*Trace, error) {
+	// Counts up to this many elements preallocate their slice so string
+	// destinations stay stable until one arena flush at the end; larger
+	// (corrupt or extreme) claims fall back to append with a per-item
+	// flush, keeping a short stream from forcing a big allocation.
+	const preallocMax = 1 << 16
 	t := &Trace{}
 	m := &t.Meta
-	m.Workload = r.str()
-	m.JobID = r.str()
+	r.strTo(&m.Workload)
+	r.strTo(&m.JobID)
 	m.Nodes = int(r.varint())
 	m.CoresPerNode = int(r.varint())
 	m.GPUsPerNode = int(r.varint())
 	m.MemPerNodeGB = int(r.varint())
 	m.Ranks = int(r.varint())
-	m.NodeLocalDir = r.str()
-	m.SharedBBDir = r.str()
-	m.PFSDir = r.str()
+	r.strTo(&m.NodeLocalDir)
+	r.strTo(&m.SharedBBDir)
+	r.strTo(&m.PFSDir)
 	m.JobTimeLimit = time.Duration(r.varint())
 	m.TraceOverhead = time.Duration(r.varint())
 
@@ -216,42 +273,81 @@ func readHeader(r *reader) (*Trace, error) {
 	if r.err == nil && nApps > 1<<20 {
 		return nil, fmt.Errorf("%w: app count %d", ErrBadFormat, nApps)
 	}
-	for i := uint64(0); i < nApps && r.err == nil; i++ {
-		t.Apps = append(t.Apps, r.str())
+	if r.err == nil && nApps > 0 && nApps <= preallocMax {
+		t.Apps = make([]string, nApps)
+		for i := uint64(0); i < nApps && r.err == nil; i++ {
+			r.strTo(&t.Apps[i])
+		}
+	} else {
+		for i := uint64(0); i < nApps && r.err == nil; i++ {
+			var app string
+			r.strTo(&app)
+			r.flushStrs()
+			t.Apps = append(t.Apps, app)
+		}
 	}
 	nFiles := r.uvarint()
 	if r.err == nil && nFiles > 1<<28 {
 		return nil, fmt.Errorf("%w: file count %d", ErrBadFormat, nFiles)
 	}
-	for i := uint64(0); i < nFiles && r.err == nil; i++ {
-		var f FileInfo
-		f.Path = r.str()
+	readFile := func(f *FileInfo) {
+		r.strTo(&f.Path)
 		f.Size = r.varint()
-		f.Target = r.str()
-		f.Format = r.str()
+		r.strTo(&f.Target)
+		r.strTo(&f.Format)
 		f.NDims = int(r.varint())
-		f.DataType = r.str()
-		t.Files = append(t.Files, f)
+		r.strTo(&f.DataType)
+	}
+	if r.err == nil && nFiles > 0 && nFiles <= preallocMax {
+		t.Files = make([]FileInfo, nFiles)
+		for i := uint64(0); i < nFiles && r.err == nil; i++ {
+			readFile(&t.Files[i])
+		}
+	} else {
+		for i := uint64(0); i < nFiles && r.err == nil; i++ {
+			var f FileInfo
+			readFile(&f)
+			r.flushStrs()
+			t.Files = append(t.Files, f)
+		}
 	}
 	nSamples := r.uvarint()
 	if r.err == nil && nSamples > 1<<20 {
 		return nil, fmt.Errorf("%w: sample count %d", ErrBadFormat, nSamples)
 	}
+	prealloc := r.err == nil && nSamples > 0 && nSamples <= preallocMax
+	if prealloc {
+		t.Samples = make([]DatasetSample, 0, nSamples)
+	}
 	for i := uint64(0); i < nSamples && r.err == nil; i++ {
 		var s DatasetSample
-		s.Name = r.str()
+		if prealloc {
+			t.Samples = t.Samples[:i+1]
+			r.strTo(&t.Samples[i].Name)
+		} else {
+			r.strTo(&s.Name)
+			r.flushStrs()
+		}
 		nv := r.uvarint()
 		if r.err == nil && nv > 1<<24 {
 			return nil, fmt.Errorf("%w: sample size %d", ErrBadFormat, nv)
 		}
+		if r.err == nil && nv > 0 && nv <= preallocMax {
+			s.Values = make([]float64, 0, nv)
+		}
 		for j := uint64(0); j < nv && r.err == nil; j++ {
 			s.Values = append(s.Values, math.Float64frombits(r.uvarint()))
 		}
-		t.Samples = append(t.Samples, s)
+		if prealloc {
+			t.Samples[i].Values = s.Values
+		} else {
+			t.Samples = append(t.Samples, s)
+		}
 	}
 	if r.err != nil {
 		return nil, r.err
 	}
+	r.flushStrs()
 	return t, nil
 }
 

@@ -84,12 +84,20 @@ func FuzzRead(f *testing.F) {
 // decode must round-trip.
 func FuzzBlockReader(f *testing.F) {
 	seed := fuzzSeedTrace(f)
-	// Seeds span both footer versions: columnar logs carry the VANIIDX3
-	// footer (per-block rank/level/op stats and per-column byte ranges),
-	// row-layout logs the legacy VANIIDX2 footer.
+	// Seeds span every footer version: v2.2 logs carry the VANIIDX4 footer
+	// (per-segment codec ids), v2.1 columnar logs VANIIDX3 (per-block
+	// rank/level/op stats and per-column byte ranges), row-layout logs the
+	// legacy VANIIDX2 footer — and every segment codec, both cost-model
+	// chosen and forced on.
 	for _, opt := range []V2Options{
 		{BlockEvents: 1}, {BlockEvents: 1, Compress: true}, {},
 		{BlockEvents: 1, RowLayout: true}, {RowLayout: true, Compress: true},
+		{BlockEvents: 1, Codec: CodecV21}, {Codec: CodecV21, Compress: true},
+		{BlockEvents: 1, Codec: CodecForceRaw},
+		{BlockEvents: 1, Codec: CodecForceRLE},
+		{BlockEvents: 1, Codec: CodecForceDict},
+		{BlockEvents: 1, Codec: CodecForceFOR},
+		{Codec: CodecForceFOR, Compress: true},
 	} {
 		var buf bytes.Buffer
 		if err := WriteV2With(&buf, seed, opt); err != nil {
@@ -107,6 +115,21 @@ func FuzzBlockReader(f *testing.F) {
 			mutated[len(mutated)/2] ^= 0xff
 		}
 		f.Add(mutated)
+	}
+	// Bit-flip sweep over a v2.2 log's block payloads: flips land in codec
+	// id bytes, dict widths, and packed index/offset words, so every decode
+	// kernel sees crafted claims.
+	{
+		var buf bytes.Buffer
+		if err := WriteV2With(&buf, seed, V2Options{BlockEvents: 1}); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		for pos := len(magicV2); pos < len(valid)-trailerLen; pos += 3 {
+			mutated := append([]byte(nil), valid...)
+			mutated[pos] ^= 1 << (pos % 8)
+			f.Add(mutated)
+		}
 	}
 	f.Add([]byte(magicV2))
 	f.Add([]byte("garbage"))

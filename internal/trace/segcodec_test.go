@@ -1,0 +1,371 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestBitpackRoundTrip: appendPacked/unpackInto round-trip at every width
+// from 0 to 64, including values straddling word boundaries and the full
+// int64 range under mod-2^64 frame-of-reference.
+func TestBitpackRoundTrip(t *testing.T) {
+	for width := uint(0); width <= 64; width++ {
+		n := 97 // prime, so runs of bits misalign against byte boundaries
+		vals := make([]int64, n)
+		var max uint64
+		if width == 64 {
+			max = ^uint64(0)
+		} else {
+			max = uint64(1)<<width - 1
+		}
+		rng := uint64(0x9e3779b97f4a7c15)
+		for i := range vals {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			vals[i] = int64(rng & max)
+		}
+		if n > 1 {
+			vals[0], vals[1] = 0, int64(max) // extremes always present
+		}
+		packed := appendPacked(nil, vals, 0, width)
+		if got, want := len(packed), packedLen(n, width); got != want {
+			t.Fatalf("width %d: packed %d bytes, want %d", width, got, want)
+		}
+		out := make([]int64, n)
+		unpackInto(packed, n, width, 0, out)
+		for i := range vals {
+			if out[i] != vals[i] {
+				t.Fatalf("width %d: value %d round-tripped %d -> %d", width, i, vals[i], out[i])
+			}
+		}
+	}
+}
+
+// TestBitpackFullInt64Range: FOR's mod-2^64 base subtraction packs any
+// int64 span, including MinInt64..MaxInt64 at width 64.
+func TestBitpackFullInt64Range(t *testing.T) {
+	vals := []int64{math.MinInt64, -1, 0, 1, math.MaxInt64, 42, math.MinInt64 + 1}
+	min := int64(math.MinInt64)
+	base := uint64(min)
+	width := bitsFor(uint64(math.MaxInt64) - base)
+	if width != 64 {
+		t.Fatalf("span width = %d, want 64", width)
+	}
+	packed := appendPacked(nil, vals, base, width)
+	out := make([]int64, len(vals))
+	unpackInto(packed, len(vals), width, base, out)
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("value %d round-tripped %d -> %d", i, vals[i], out[i])
+		}
+	}
+}
+
+// segRoundTrip encodes vals under the forced codec and decodes them back.
+func segRoundTrip(t *testing.T, codec uint8, vals []int64, unsigned bool) {
+	t.Helper()
+	dst := append([]byte(nil), codec)
+	dst = appendSegBody(dst, codec, vals, unsigned)
+	c := &byteCursor{b: dst[1:]}
+	out := make([]int64, len(vals))
+	if err := decodeSegVals(c, codec, len(vals), unsigned, out); err != nil {
+		t.Fatalf("%s decode: %v", segCodecNames[codec], err)
+	}
+	if c.off != len(c.b) {
+		t.Fatalf("%s decode left %d trailing bytes", segCodecNames[codec], len(c.b)-c.off)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("%s: value %d round-tripped %d -> %d", segCodecNames[codec], i, vals[i], out[i])
+		}
+	}
+}
+
+// TestSegCodecRoundTrips: every codec round-trips every value shape, signed
+// and unsigned, including extreme int64 values.
+func TestSegCodecRoundTrips(t *testing.T) {
+	shapes := map[string][]int64{
+		"constant":  {7, 7, 7, 7, 7, 7, 7, 7},
+		"runs":      {0, 0, 0, 5, 5, -3, -3, -3, -3, 9},
+		"distinct":  {100, -200, 300, -400, 500, -600},
+		"alternate": {1, 2, 1, 2, 1, 2, 1, 2, 1},
+		"monotonic": {10, 11, 12, 13, 14, 15, 16},
+		"extremes":  {math.MinInt64, math.MaxInt64, 0, -1, 1, math.MinInt64, math.MaxInt64},
+		"single":    {-42},
+	}
+	for name, vals := range shapes {
+		for codec := uint8(0); codec < numSegCodecs; codec++ {
+			segRoundTrip(t, codec, vals, false)
+		}
+		// Unsigned path only for non-negative values (Level/Op/Lib shapes).
+		neg := false
+		for _, v := range vals {
+			if v < 0 {
+				neg = true
+			}
+		}
+		if !neg {
+			for codec := uint8(0); codec < numSegCodecs; codec++ {
+				segRoundTrip(t, codec, vals, true)
+			}
+		}
+		_ = name
+	}
+}
+
+// TestChooseSegCodec: the cost model picks the expected codec on
+// characteristic column shapes, and never picks one larger than raw.
+func TestChooseSegCodec(t *testing.T) {
+	dict := make(map[int64]struct{})
+	// Long runs of many distinct wide values: RLE beats dict (too many
+	// values to amortize) and FOR (wide span forces a fat pack width).
+	runs := make([]int64, 1000)
+	for i := range runs {
+		runs[i] = int64(i/10) * 1000003
+	}
+	if got := chooseSegCodec(runs, false, dict); got != segRLE {
+		t.Errorf("run column chose %s, want rle", segCodecNames[got])
+	}
+
+	// A constant column is the degenerate case where FOR's zero-width pack
+	// (base + width byte only) beats even RLE's single run.
+	constant := make([]int64, 1000)
+	for i := range constant {
+		constant[i] = 4
+	}
+	if got := chooseSegCodec(constant, true, dict); got != segFOR {
+		t.Errorf("constant column chose %s, want for", segCodecNames[got])
+	}
+
+	alternating := make([]int64, 1000)
+	for i := range alternating {
+		alternating[i] = int64(1000000 + i%3*1000)
+	}
+	if got := chooseSegCodec(alternating, false, dict); got != segDict {
+		t.Errorf("3-value alternating column chose %s, want dict", segCodecNames[got])
+	}
+
+	dense := make([]int64, 1000)
+	for i := range dense {
+		dense[i] = int64(1 << 40) // large constant deltas: FOR packs to width 0
+	}
+	dense[0] = 1<<40 + 1
+	if got := chooseSegCodec(dense, false, dict); got == segRaw {
+		t.Errorf("near-constant wide column chose raw")
+	}
+
+	// Whatever wins must encode no larger than raw.
+	for _, vals := range [][]int64{runs, constant, alternating, dense} {
+		chosen := chooseSegCodec(vals, false, dict)
+		chosenBytes := len(appendSegBody(nil, chosen, vals, false))
+		rawBytes := len(appendSegBody(nil, segRaw, vals, false))
+		if chosenBytes > rawBytes {
+			t.Errorf("%s encoded %d bytes > raw %d", segCodecNames[chosen], chosenBytes, rawBytes)
+		}
+	}
+}
+
+// TestChooseSegCodecExactSizes: the cost model's predicted winner really is
+// the smallest actual encoding, for a spread of shapes.
+func TestChooseSegCodecExactSizes(t *testing.T) {
+	rng := uint64(12345)
+	next := func(mod int64) int64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int64(rng>>33) % mod
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 64 + int(next(512))
+		vals := make([]int64, n)
+		mode := trial % 4
+		for i := range vals {
+			switch mode {
+			case 0:
+				vals[i] = next(4)
+			case 1:
+				vals[i] = next(1<<30) + 1<<40
+			case 2:
+				vals[i] = next(8) * 1000003
+			case 3:
+				if i > 0 && next(10) < 7 {
+					vals[i] = vals[i-1]
+				} else {
+					vals[i] = next(1 << 20)
+				}
+			}
+		}
+		dict := make(map[int64]struct{})
+		chosen := chooseSegCodec(vals, false, dict)
+		sizes := make([]int, numSegCodecs)
+		for codec := uint8(0); codec < numSegCodecs; codec++ {
+			sizes[codec] = len(appendSegBody(nil, codec, vals, false))
+		}
+		for codec := uint8(0); codec < numSegCodecs; codec++ {
+			if sizes[codec] < sizes[chosen] {
+				t.Fatalf("trial %d: model chose %s (%d bytes) but %s is %d bytes",
+					trial, segCodecNames[chosen], sizes[chosen], segCodecNames[codec], sizes[codec])
+			}
+		}
+	}
+}
+
+// TestDecodeSegCorrupt: oversized or malformed segment claims fail with
+// ErrBadFormat before any unbounded allocation.
+func TestDecodeSegCorrupt(t *testing.T) {
+	out := make([]int64, 16)
+	cases := map[string]struct {
+		codec uint8
+		body  []byte
+		n     int
+	}{
+		"rle run overflows count": {segRLE, []byte{2 /*val=1*/, 40 /*run=40*/}, 16},
+		"rle zero run":            {segRLE, []byte{2, 0}, 16},
+		"rle truncated":           {segRLE, []byte{2}, 16},
+		"dict zero values":        {segDict, []byte{0}, 16},
+		"dict more than rows":     {segDict, []byte{17}, 16},
+		"dict wrong width":        {segDict, []byte{2, 2, 4, 9 /*width 9, want 1*/, 0, 0}, 16},
+		"dict truncated packed":   {segDict, []byte{2, 2, 4, 1 /*width 1*/, 0}, 16},
+		"dict index oob is impossible by width": {segDict,
+			// ndict=3 width=2: packed index 3 is representable but out of dict.
+			[]byte{3, 2, 4, 6, 2, 0xFF, 0xFF, 0xFF, 0xFF}, 16},
+		"for width over 64":  {segFOR, []byte{0, 65}, 16},
+		"for truncated body": {segFOR, []byte{0, 8, 1, 2}, 16},
+		"unknown codec":      {numSegCodecs, []byte{}, 4},
+	}
+	for name, tc := range cases {
+		c := &byteCursor{b: tc.body}
+		err := decodeSegVals(c, tc.codec, tc.n, false, out[:tc.n])
+		if err == nil {
+			t.Errorf("%s: decode succeeded", name)
+			continue
+		}
+		if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: error %v is not ErrBadFormat", name, err)
+		}
+	}
+}
+
+// TestFlateBombGuardAllCodecs: a flate frame of any payload kind — row,
+// v2.1 columnar, v2.2 columnar — whose declared decompressed length exceeds
+// maxFlateRatio times the compressed bytes is rejected as ErrBadFormat
+// before any allocation backs the claim.
+func TestFlateBombGuardAllCodecs(t *testing.T) {
+	for _, kind := range []payloadKind{payloadRow, payloadCol, payloadColV22} {
+		_, flateCodec := frameCodecs(kind)
+		// A tiny compressed body claiming a huge decompressed length.
+		body := []byte{0x01, 0x02}
+		frame := []byte{flateCodec}
+		frame = binary.AppendUvarint(frame, uint64(len(body))*maxFlateRatio+1) // rawLen
+		frame = binary.AppendUvarint(frame, uint64(len(body)))                 // compLen
+		frame = append(frame, body...)
+		if _, _, err := unwrapFrame(frame); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("codec %d: bomb claim error = %v, want ErrBadFormat", flateCodec, err)
+		}
+		// At exactly the ratio the claim is admissible (the flate stream
+		// itself is garbage here, which must also surface as ErrBadFormat,
+		// not a panic).
+		frame = []byte{flateCodec}
+		frame = binary.AppendUvarint(frame, uint64(len(body))*maxFlateRatio)
+		frame = binary.AppendUvarint(frame, uint64(len(body)))
+		frame = append(frame, body...)
+		if _, _, err := unwrapFrame(frame); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("codec %d: garbage flate error = %v, want ErrBadFormat", flateCodec, err)
+		}
+	}
+}
+
+// TestV22CountClaimBounded: the v2.2 payload count check admits RLE's
+// legitimate amplification (16K rows from a few dozen bytes) while still
+// bounding the claim by the validated block geometry.
+func TestV22CountClaimBounded(t *testing.T) {
+	// Legitimate: a full default block from a tiny RLE payload.
+	if err := checkPayloadCount(DefaultBlockEvents, 1+3*NumCols, DefaultBlockEvents, payloadColV22); err != nil {
+		t.Errorf("RLE-amplified count rejected: %v", err)
+	}
+	// A claim above the block geometry is rejected.
+	if err := checkPayloadCount(DefaultBlockEvents+1, 1<<16, DefaultBlockEvents, payloadColV22); err == nil {
+		t.Error("count above block size accepted")
+	}
+	// A non-empty block needs at least one codec byte + minimal body per
+	// segment.
+	if err := checkPayloadCount(1, 3, DefaultBlockEvents, payloadColV22); err == nil {
+		t.Error("count with sub-minimal payload accepted")
+	}
+	// v2.1 kinds keep the strict per-event floor.
+	if err := checkPayloadCount(1000, 5036, DefaultBlockEvents, payloadCol); err == nil {
+		t.Error("v2.1 count with unbacked payload accepted")
+	}
+}
+
+// TestDecodeSegRuns: RLE run summaries round-trip, and malformed run claims
+// fail with ErrBadFormat.
+func TestDecodeSegRuns(t *testing.T) {
+	vals := []int64{5, 5, 5, -2, -2, 9, 9, 9, 9}
+	body := appendSegBody(nil, segRLE, vals, false)
+	runs, err := decodeSegRuns(&byteCursor{b: body}, len(vals), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Run{{5, 3}, {-2, 2}, {9, 4}}
+	if len(runs) != len(want) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(want))
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, runs[i], want[i])
+		}
+	}
+	if _, err := decodeSegRuns(&byteCursor{b: []byte{2, 200}}, 9, false); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("oversized run error = %v, want ErrBadFormat", err)
+	}
+}
+
+// TestAppendSegV22Validation: full segments decoded through decodeSegV22
+// enforce the v2.1 value rules (negative ranks rejected) and Start/End
+// delta chains accumulate correctly.
+func TestAppendSegV22Validation(t *testing.T) {
+	evs := []Event{
+		{Rank: 3, Start: 100, End: 150},
+		{Rank: 5, Start: 120, End: 180},
+		{Rank: 5, Start: 90, End: 200}, // out-of-order start: negative delta
+	}
+	sc := segScratchPool.Get().(*segScratch)
+	defer segScratchPool.Put(sc)
+
+	var cols Columns
+	cols.grow(len(evs))
+	for _, col := range []int{colRankIdx(), colStartIdx(), colEndIdx()} {
+		for force := -1; force < numSegCodecs; force++ {
+			seg, _ := appendSegV22(nil, col, evs, force, sc)
+			c := &byteCursor{b: seg}
+			if err := decodeSegV22(c, col, len(evs), &cols); err != nil {
+				t.Fatalf("col %d force %d: %v", col, force, err)
+			}
+		}
+	}
+	for i, ev := range evs {
+		if cols.Rank[i] != ev.Rank || cols.Start[i] != int64(ev.Start) || cols.End[i] != int64(ev.End) {
+			t.Fatalf("row %d: got rank=%d start=%d end=%d, want %+v",
+				i, cols.Rank[i], cols.Start[i], cols.End[i], ev)
+		}
+	}
+
+	// A segment carrying a negative rank must be rejected on decode.
+	bad := append([]byte{segRaw}, appendSegBody(nil, segRaw, []int64{-1, 2, 3}, false)...)
+	if err := decodeSegV22(&byteCursor{b: bad}, colRankIdx(), 3, &cols); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("negative rank error = %v, want ErrBadFormat", err)
+	}
+}
+
+func colIdxOf(set ColSet) int {
+	for i := 0; i < NumCols; i++ {
+		if ColSet(1)<<i == set {
+			return i
+		}
+	}
+	panic("unknown column")
+}
+
+func colRankIdx() int  { return colIdxOf(ColRank) }
+func colStartIdx() int { return colIdxOf(ColStart) }
+func colEndIdx() int   { return colIdxOf(ColEnd) }

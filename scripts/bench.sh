@@ -6,14 +6,16 @@
 #
 # Captures the sequential-vs-parallel analyzer and columnarizer benchmarks,
 # the row-major-vs-columnar ablation, the VANITRC1-vs-VANITRC2 codec
-# throughput benches, and the scan-planner pushdown benches, with -benchmem
-# so bytes/op and allocs/op land in the record. BENCH_PR1.json was captured
-# at GOMAXPROCS=1, which hid every parallel speedup; this harness records
-# GOMAXPROCS and refuses to publish a single-core record from a multi-core
-# machine unless explicitly allowed with BENCH_ALLOW_SINGLE_CORE=1.
+# throughput benches, the scan-planner pushdown benches, and the per-codec
+# matrix (encoded size and full-column-scan decode MB/s for v2.1, v2.1+flate
+# and every v2.2 segment codec), with -benchmem so bytes/op and allocs/op
+# land in the record. BENCH_PR1.json was captured at GOMAXPROCS=1, which hid
+# every parallel speedup; this harness records GOMAXPROCS and refuses to
+# publish a single-core record from a multi-core machine unless explicitly
+# allowed with BENCH_ALLOW_SINGLE_CORE=1.
 set -eu
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR5.json}"
 cd "$(dirname "$0")/.."
 
 ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
@@ -28,7 +30,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkAnalyzerParallelism|BenchmarkColumnarize|BenchmarkAblation_ColumnarAnalysis|BenchmarkTraceCodec|BenchmarkTraceEncode|BenchmarkTraceDecodeToTable|BenchmarkScanPlanner' \
+    -bench 'BenchmarkAnalyzerParallelism|BenchmarkColumnarize|BenchmarkAblation_ColumnarAnalysis|BenchmarkTraceCodec|BenchmarkTraceEncode|BenchmarkTraceDecodeToTable|BenchmarkScanPlanner|BenchmarkCodecMatrix' \
     -benchmem -benchtime 10x -timeout 30m . | tee "$tmp"
 
 go run ./scripts/benchjson "$tmp" > "$out"

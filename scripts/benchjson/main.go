@@ -53,6 +53,15 @@ type record struct {
 	// two-column projection (window25-projected), skipping the other nine
 	// column decodes entirely.
 	ProjectedScanSpeedup float64 `json:"projected_scan_speedup_full_over_window25,omitempty"`
+	// CodecDecodeSpeedup is v21-flate-ns/v22-auto-ns of
+	// BenchmarkCodecMatrix — the v2.2 headline number: how much faster a
+	// full-column scan decodes under the per-segment cost-model codecs
+	// than under the v2.1 varint layout wrapped in flate.
+	CodecDecodeSpeedup float64 `json:"codec_decode_speedup_v21flate_over_v22auto,omitempty"`
+	// CodecSizeRatio is the v22-auto encoded size over the v21-flate
+	// encoded size on the same fixture. The regression guard requires
+	// this to stay at or below 1.05.
+	CodecSizeRatio float64 `json:"codec_size_ratio_v22auto_over_v21flate,omitempty"`
 }
 
 func main() {
@@ -78,6 +87,7 @@ func main() {
 			"advantage over the v1 byte-at-a-time stream.",
 	}
 	var seqNs, parNs, v1Ns, v2ParNs, fullNs, prunedNs, projNs float64
+	var v21FlateNs, v22AutoNs, v21FlateBytes, v22AutoBytes float64
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -126,6 +136,12 @@ func main() {
 			prunedNs = ns
 		case strings.HasPrefix(r.Name, "BenchmarkScanPlanner/window25-projected"):
 			projNs = ns
+		case strings.HasPrefix(r.Name, "BenchmarkCodecMatrix/v21-flate"):
+			v21FlateNs = ns
+			v21FlateBytes = r.Extra["enc-bytes"]
+		case strings.HasPrefix(r.Name, "BenchmarkCodecMatrix/v22-auto"):
+			v22AutoNs = ns
+			v22AutoBytes = r.Extra["enc-bytes"]
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -143,6 +159,12 @@ func main() {
 	}
 	if fullNs > 0 && projNs > 0 {
 		rec.ProjectedScanSpeedup = fullNs / projNs
+	}
+	if v21FlateNs > 0 && v22AutoNs > 0 {
+		rec.CodecDecodeSpeedup = v21FlateNs / v22AutoNs
+	}
+	if v21FlateBytes > 0 && v22AutoBytes > 0 {
+		rec.CodecSizeRatio = v22AutoBytes / v21FlateBytes
 	}
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

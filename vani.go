@@ -361,6 +361,38 @@ func WriteTraceFormat(w io.Writer, tr *Trace, f TraceFormat) error {
 	return trace.WriteFormat(w, tr, f)
 }
 
+// TraceCodec selects the per-segment column codec strategy of the VANITRC2
+// writer: the v2.2 cost model (auto), the v2.1 raw-varint layout, or one
+// forced segment codec.
+type TraceCodec = trace.CodecMode
+
+// Supported codec strategies.
+const (
+	TraceCodecAuto = trace.CodecAuto
+	TraceCodecV21  = trace.CodecV21
+)
+
+// ParseTraceCodec parses a flag-style codec name ("auto", "v21", "raw",
+// "rle", "dict", "for").
+func ParseTraceCodec(s string) (TraceCodec, error) { return trace.ParseCodecMode(s) }
+
+// TraceWriteOptions configures WriteTraceWith. The zero value is the
+// default encoding: VANITRC2, v2.2 auto codecs, no outer compression.
+type TraceWriteOptions struct {
+	Format   TraceFormat // 0 means TraceFormatV2
+	Compress bool        // flate-wrap v2 block payloads (outer layer)
+	Codec    TraceCodec  // column codec strategy (v2 only)
+}
+
+// WriteTraceWith encodes a trace to w under explicit format, compression
+// and codec choices. Codec and Compress apply only to the v2 format.
+func WriteTraceWith(w io.Writer, tr *Trace, opt TraceWriteOptions) error {
+	if opt.Format == TraceFormatV1 {
+		return trace.WriteFormat(w, tr, TraceFormatV1)
+	}
+	return trace.WriteV2With(w, tr, trace.V2Options{Compress: opt.Compress, Codec: opt.Codec})
+}
+
 // ReadTrace decodes a trace written by WriteTrace or WriteTraceFormat; the
 // format is sniffed from the magic.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
