@@ -13,6 +13,7 @@ package vani
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -764,6 +765,62 @@ func BenchmarkScanPlanner(b *testing.B) {
 					b.Fatalf("scanned %d rows, want %d", tb.Len(), bench.rows)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkCompressedDomain measures what compressed-domain execution buys
+// end to end: the same v2.2-encoded workload trace, fully characterized under
+// a pushed-down filter (the shape every vanid request takes) with the kernel
+// registry engaged versus force-disabled (every kernel request falling back
+// to materialized row iteration). With kernels on, the filter's level and op
+// predicates evaluate against the encoded RLE/dict segments and the dropped
+// dimensions never materialize; off, every filter column decodes and the
+// predicate runs per row. Both arms produce byte-identical YAML (the
+// equivalence suite pins that); this measures the throughput and allocation
+// gap between the two execution paths.
+func BenchmarkCompressedDomain(b *testing.B) {
+	_, _ = allRuns(b)
+	res := runRes["cm1"]
+	var buf bytes.Buffer
+	if err := trace.WriteV2With(&buf, res.Trace, trace.V2Options{}); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	defer colstore.SetKernelsEnabled(true)
+	for _, bench := range []struct {
+		name    string
+		kernels bool
+	}{
+		{"kernels-on", true},
+		{"kernels-off", false},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			colstore.SetKernelsEnabled(bench.kernels)
+			opt := DefaultAnalyzerOptions()
+			opt.Filter = trace.Filter{Ranks: []int32{3}}
+			var served, fallback int64
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br, err := trace.NewBlockReader(bytes.NewReader(enc), int64(len(enc)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var timings AnalyzerTimings
+				opt.Stats = &timings
+				c, err := CharacterizeBlocksContext(context.Background(), br, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c == nil {
+					b.Fatal("nil characterization")
+				}
+				served, fallback = timings.Scan.KernelsServed, timings.Scan.KernelsFallback
+			}
+			b.ReportMetric(float64(served), "kernels-served")
+			b.ReportMetric(float64(fallback), "kernels-fallback")
 		})
 	}
 }

@@ -107,6 +107,8 @@ func main() {
 				s.BlocksTotal, s.BlocksPruned, s.RowsTotal, s.RowsKept, s.PayloadBytes, s.DecodedBytes)
 			fmt.Fprintf(os.Stderr, "    segs: raw=%d rle=%d dict=%d for=%d\n",
 				s.SegRaw, s.SegRLE, s.SegDict, s.SegFOR)
+			fmt.Fprintf(os.Stderr, "    kernels: served=%d fallback=%d\n",
+				s.KernelsServed, s.KernelsFallback)
 		}
 		cols = append(cols, report.Named{Name: display(name), C: c})
 		if *traceDir != "" {

@@ -39,6 +39,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 256, "report cache capacity (LRU entries)")
 	spoolDir := flag.String("spool-dir", "", "directory for uploaded traces (default: a fresh temp dir)")
 	par := flag.Int("parallelism", 0, "per-job analyzer parallelism (0 = GOMAXPROCS)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-block cache budget in bytes (0 = 256 MiB default, negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown before aborting them")
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		CacheEntries: *cacheEntries,
 		SpoolDir:     *spoolDir,
 		Parallelism:  *par,
+		CacheBytes:   *cacheBytes,
 	})
 	if err != nil {
 		log.Fatalf("vanid: %v", err)

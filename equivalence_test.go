@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"vani/internal/colstore"
 	"vani/internal/trace"
 )
 
@@ -167,7 +168,9 @@ func TestFormatEquivalence(t *testing.T) {
 // blocks, v2.1 raw varints, v2.2 with the cost model and with each codec
 // forced on, with and without the flate outer layer — characterizes to a
 // YAML artifact byte-identical to the in-memory analysis, at sequential,
-// fixed-parallel and NumCPU decode.
+// fixed-parallel and NumCPU decode. Every variant also runs with the
+// compressed-domain kernels force-disabled: the encoded-segment fast paths
+// and the materialized row loops must be indistinguishable byte-for-byte.
 func TestCodecMatrixEquivalence(t *testing.T) {
 	dir := t.TempDir()
 	variants := map[string]trace.V2Options{
@@ -199,19 +202,25 @@ func TestCodecMatrixEquivalence(t *testing.T) {
 
 		check := func(variant, path string) {
 			t.Helper()
-			for _, par := range pars {
-				opt := DefaultAnalyzerOptions()
-				opt.Storage = &cfg
-				opt.Parallelism = par
-				c, err := CharacterizeFileWith(path, opt)
-				if err != nil {
-					t.Fatalf("%s %s par=%d: %v", name, variant, par, err)
-				}
-				if got := ToYAML(c); !bytes.Equal(want, got) {
-					t.Errorf("%s: %s characterization differs from in-memory (par=%d)", name, variant, par)
+			for _, kernels := range []bool{true, false} {
+				colstore.SetKernelsEnabled(kernels)
+				for _, par := range pars {
+					opt := DefaultAnalyzerOptions()
+					opt.Storage = &cfg
+					opt.Parallelism = par
+					c, err := CharacterizeFileWith(path, opt)
+					if err != nil {
+						t.Fatalf("%s %s par=%d kernels=%v: %v", name, variant, par, kernels, err)
+					}
+					if got := ToYAML(c); !bytes.Equal(want, got) {
+						t.Errorf("%s: %s characterization differs from in-memory (par=%d kernels=%v)",
+							name, variant, par, kernels)
+					}
 				}
 			}
+			colstore.SetKernelsEnabled(true)
 		}
+		defer colstore.SetKernelsEnabled(true)
 
 		v1Path := filepath.Join(dir, name+"-v1.trc")
 		f, err := os.Create(v1Path)

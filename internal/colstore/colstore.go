@@ -56,10 +56,14 @@ type Chunk struct {
 
 	lazy *lazySrc // undecoded remainder; nil once fully materialized
 
-	// runs holds RLE run summaries for the groupable key columns, captured
-	// from v2.2 block payloads when the chunk keeps every block row. Nil
-	// entries mean no summary; run-aware kernels fall back to row iteration.
-	runs [numKeyCols][]trace.Run
+	// runs holds value-run summaries for the run columns (the groupable key
+	// columns ColRank..ColFile, then level and op), captured from v2.2 block
+	// payloads when the chunk keeps every block row — RLE runs directly,
+	// dict segments as coalesced code runs. Nil entries mean no summary;
+	// kernels fall back to row iteration. runCodec records each summary's
+	// source segment codec, the registry key for kernel dispatch.
+	runs     [numRunCols][]trace.Run
+	runCodec [numRunCols]uint8
 }
 
 func newChunk(base, rows int) *Chunk {
@@ -117,6 +121,11 @@ type Table struct {
 	n       int
 	chunks  []*Chunk
 	uniform bool // chunks[k].Base == k<<chunkShift for all k
+
+	// stats is the scan's ScanStats when the table came from a planned
+	// block scan; kernel served/fallback requests tick into it. Nil for
+	// eagerly built tables.
+	stats *ScanStats
 }
 
 // Len returns the number of rows.
@@ -573,8 +582,30 @@ func (t *Table) GroupByCol(par int, col Col) *GroupBy {
 	parts := make([]*GroupBy, len(t.chunks))
 	parallel.ForEach(par, len(t.chunks), func(k int) {
 		c := t.chunks[k]
-		keys := c.col(col)
 		g := &GroupBy{Groups: make(map[int32][]int)}
+		if KernelsEnabled() && c.runUsable(KGroupBy, int(col)) {
+			// Run kernel: one map probe and one range append per run.
+			// Runs are in row order, so first-encounter key order and
+			// ascending row order match the row loop exactly.
+			t.tickKernel(KGroupBy, true)
+			row := 0
+			for _, r := range c.runs[col] {
+				key := int32(r.Val)
+				rows, ok := g.Groups[key]
+				if !ok {
+					g.Keys = append(g.Keys, key)
+				}
+				for x := 0; x < int(r.N); x++ {
+					rows = append(rows, c.Base+row+x)
+				}
+				g.Groups[key] = rows
+				row += int(r.N)
+			}
+			parts[k] = g
+			return
+		}
+		t.tickKernel(KGroupBy, false)
+		keys := c.col(col)
 		for j := 0; j < c.N; j++ {
 			key := keys[j]
 			if _, ok := g.Groups[key]; !ok {

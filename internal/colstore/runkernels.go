@@ -20,6 +20,15 @@ import (
 // numKeyCols is the number of groupable key columns (ColRank..ColFile).
 const numKeyCols = 4
 
+// Run-summary column indices. The first numKeyCols entries are the
+// groupable key columns, indexed by Col; level and op follow so span-fused
+// kernels can hoist per-row dispatch out to span boundaries.
+const (
+	runLevel = numKeyCols + iota
+	runOp
+	numRunCols
+)
+
 // traceCol returns the trace-layer column set bit for a key column.
 func (col Col) traceCol() trace.ColSet {
 	switch col {
@@ -35,31 +44,60 @@ func (col Col) traceCol() trace.ColSet {
 	return 0
 }
 
-// captureRuns snapshots the RLE run summaries of the groupable key columns
-// from a whole-block chunk (sel == nil: chunk rows are exactly the block's
-// rows, in order). Runs whose values would fail the column's decode
-// validation are dropped, so a captured summary always agrees with the
-// materialized column.
+// runColSet returns the trace-layer column set bit for a run column index.
+func runColSet(ri int) trace.ColSet {
+	switch ri {
+	case runLevel:
+		return trace.ColLevel
+	case runOp:
+		return trace.ColOp
+	}
+	return Col(ri).traceCol()
+}
+
+// runBounds returns the value range outside which a run column's decode
+// validation (or integer conversion) would disagree with the stored value.
+func runBounds(ri int) (lo, hi int64) {
+	switch ri {
+	case runLevel, runOp:
+		return 0, math.MaxUint8 // decode truncates with uint8(v)
+	case int(ColRank), int(ColNode):
+		return 0, math.MaxInt32 // decode rejects out-of-range values
+	}
+	return math.MinInt32, math.MaxInt32
+}
+
+// captureRuns snapshots the value-run summaries of the run columns from a
+// whole-block chunk (sel == nil: chunk rows are exactly the block's rows,
+// in order): RLE runs directly, dict segments as coalesced code runs. Runs
+// whose values would fail the column's decode validation are dropped, so a
+// captured summary always agrees with the materialized column; so are
+// summaries denser than one run per four rows, where run iteration stops
+// paying for itself and the expanded summary would out-weigh the column.
 func (c *Chunk) captureRuns(bd *trace.BlockData) {
-	for col := ColRank; col < Col(numKeyCols); col++ {
-		idx := bits.TrailingZeros64(uint64(col.traceCol()))
-		runs, err := bd.DecodeRuns(idx)
-		if err != nil || runs == nil {
+	for ri := 0; ri < numRunCols; ri++ {
+		idx := bits.TrailingZeros64(uint64(runColSet(ri)))
+		cur, err := bd.SegCursorAt(idx)
+		if err != nil || cur == nil {
 			continue
 		}
-		ok := true
-		lo := int64(math.MinInt32)
-		if col == ColRank || col == ColNode {
-			lo = 0 // ranks and nodes are non-negative int32s
+		runs := cur.AppendRuns(nil)
+		codec := cur.Codec()
+		cur.Release()
+		if runs == nil || len(runs)*4 > c.N {
+			continue
 		}
+		lo, hi := runBounds(ri)
+		ok := true
 		for _, r := range runs {
-			if r.Val < lo || r.Val > math.MaxInt32 {
+			if r.Val < lo || r.Val > hi {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			c.runs[col] = runs
+			c.runs[ri] = runs
+			c.runCodec[ri] = codec
 		}
 	}
 }
@@ -89,10 +127,12 @@ func (t *Table) CountEq(par int, col Col, val int32) (int64, error) {
 	set := col.traceCol()
 	parallel.ForEach(par, len(t.chunks), func(k int) {
 		c := t.chunks[k]
-		if c.runs[col] != nil {
+		if KernelsEnabled() && c.runUsable(KCountEq, int(col)) {
+			t.tickKernel(KCountEq, true)
 			parts[k] = c.runsMatching(col, val)
 			return
 		}
+		t.tickKernel(KCountEq, false)
 		if errs[k] = c.Require(set); errs[k] != nil {
 			return
 		}
@@ -124,7 +164,8 @@ func (t *Table) SumSizeEq(par int, col Col, val int32) (int64, error) {
 	set := col.traceCol()
 	parallel.ForEach(par, len(t.chunks), func(k int) {
 		c := t.chunks[k]
-		if runs := c.runs[col]; runs != nil {
+		if runs := c.runs[col]; runs != nil && KernelsEnabled() && c.runUsable(KSumEq, int(col)) {
+			t.tickKernel(KSumEq, true)
 			if c.runsMatching(col, val) == 0 {
 				return // no matching rows: Size never decoded
 			}
@@ -144,6 +185,7 @@ func (t *Table) SumSizeEq(par int, col Col, val int32) (int64, error) {
 			parts[k] = sum
 			return
 		}
+		t.tickKernel(KSumEq, false)
 		if errs[k] = c.Require(set | trace.ColSize); errs[k] != nil {
 			return
 		}
@@ -176,13 +218,15 @@ func (t *Table) ValueHist(par int, col Col) (map[int32]int64, error) {
 	parallel.ForEach(par, len(t.chunks), func(k int) {
 		c := t.chunks[k]
 		h := make(map[int32]int64)
-		if runs := c.runs[col]; runs != nil {
-			for _, r := range runs {
+		if KernelsEnabled() && c.runUsable(KHist, int(col)) {
+			t.tickKernel(KHist, true)
+			for _, r := range c.runs[col] {
 				h[int32(r.Val)] += int64(r.N)
 			}
 			parts[k] = h
 			return
 		}
+		t.tickKernel(KHist, false)
 		if errs[k] = c.Require(set); errs[k] != nil {
 			return
 		}

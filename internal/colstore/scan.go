@@ -49,6 +49,25 @@ type ScanStats struct {
 	// the codec mix the cost model actually chose on this log. All zero for
 	// v1/v2.0/v2.1 input.
 	Segs [trace.NumSegCodecs]atomic.Int64
+
+	// KernelServed and KernelFallback count, per kernel operation, the
+	// requests a compressed-domain kernel answered from encoded segments vs
+	// fell back to materialized row iteration — the observable split between
+	// the two execution paths.
+	KernelServed   [NumKernelOps]atomic.Int64
+	KernelFallback [NumKernelOps]atomic.Int64
+}
+
+// tickKernel records one kernel request as served or fallback. Nil-safe.
+func (s *ScanStats) tickKernel(op KernelOp, served bool) {
+	if s == nil {
+		return
+	}
+	if served {
+		s.KernelServed[op].Add(1)
+	} else {
+		s.KernelFallback[op].Add(1)
+	}
 }
 
 // ScanCounters is a plain-value snapshot of ScanStats, suitable for
@@ -66,11 +85,18 @@ type ScanCounters struct {
 	SegRLE  int64
 	SegDict int64
 	SegFOR  int64
+
+	// Per-kernel served/fallback request counts, indexed by KernelOp, plus
+	// their totals.
+	KernelServed    [NumKernelOps]int64
+	KernelFallback  [NumKernelOps]int64
+	KernelsServed   int64
+	KernelsFallback int64
 }
 
 // Snapshot reads every counter.
 func (s *ScanStats) Snapshot() ScanCounters {
-	return ScanCounters{
+	c := ScanCounters{
 		BlocksTotal:  s.BlocksTotal.Load(),
 		BlocksPruned: s.BlocksPruned.Load(),
 		RowsTotal:    s.RowsTotal.Load(),
@@ -82,6 +108,13 @@ func (s *ScanStats) Snapshot() ScanCounters {
 		SegDict:      s.Segs[2].Load(),
 		SegFOR:       s.Segs[3].Load(),
 	}
+	for op := KernelOp(0); op < NumKernelOps; op++ {
+		c.KernelServed[op] = s.KernelServed[op].Load()
+		c.KernelFallback[op] = s.KernelFallback[op].Load()
+		c.KernelsServed += c.KernelServed[op]
+		c.KernelsFallback += c.KernelFallback[op]
+	}
+	return c
 }
 
 // countSegs tallies the codec of every decoded column segment of set into
@@ -135,7 +168,9 @@ func (c *Chunk) Require(want trace.ColSet) error {
 	}
 	c.adopt(&cols, l.sel, got)
 	l.have |= got
-	if l.stats != nil {
+	if l.stats != nil && decoded > 0 {
+		// decoded == 0 means a shared-cache memo hit: the block's columns
+		// were copied out, not re-decoded, so the scan did no decode work.
 		l.stats.DecodedBytes.Add(decoded)
 		l.stats.countSegs(l.bd, got)
 	}
@@ -254,29 +289,31 @@ func (c *Chunk) adopt(cols *trace.Columns, sel []int32, set trace.ColSet) {
 }
 
 // FromBlocksSpec executes a scan plan against a VANITRC2 block log: blocks
-// the footer statistics rule out are never read, read blocks decode only
-// the filter's columns plus spec.Cols, and surviving rows form a table
-// whose remaining columns materialize lazily from the retained payloads.
-// The resulting table is row-identical — same rows, same order — to
-// decoding everything and filtering in memory, at any par. stats may be
-// nil.
-func FromBlocksSpec(br *trace.BlockReader, par int, spec ScanSpec, stats *ScanStats) (*Table, error) {
-	return FromBlocksSpecContext(context.Background(), br, par, spec, stats)
+// the footer statistics rule out are never read, read blocks evaluate the
+// pushed-down predicate in the compressed domain where the kernel registry
+// allows and decode only the residual filter columns plus spec.Cols, and
+// surviving rows form a table whose remaining columns materialize lazily
+// from the retained payloads. The resulting table is row-identical — same
+// rows, same order — to decoding everything and filtering in memory, at
+// any par. The source is any trace.BlockSource — a BlockReader over a
+// file, or a shared block cache. stats may be nil.
+func FromBlocksSpec(src trace.BlockSource, par int, spec ScanSpec, stats *ScanStats) (*Table, error) {
+	return FromBlocksSpecContext(context.Background(), src, par, spec, stats)
 }
 
 // FromBlocksSpecContext is FromBlocksSpec with cancellation: every block
 // worker observes ctx before reading, so a canceled or timed-out caller
 // aborts the scan mid-log instead of decoding the remaining blocks. The
 // returned error is ctx.Err() when the abort was a cancellation.
-func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, spec ScanSpec, stats *ScanStats) (*Table, error) {
+func FromBlocksSpecContext(ctx context.Context, src trace.BlockSource, par int, spec ScanSpec, stats *ScanStats) (*Table, error) {
 	if stats == nil {
 		stats = &ScanStats{}
 	}
 	m := spec.Filter.NewMatcher()
-	nb := br.NumBlocks()
+	nb := src.NumBlocks()
 	stats.BlocksTotal.Add(int64(nb))
-	if br.BlockEvents() != ChunkRows {
-		return fromBlocksSpecSlow(ctx, br, spec, m, stats)
+	if src.BlockEvents() != ChunkRows {
+		return fromBlocksSpecSlow(ctx, src, spec, m, stats)
 	}
 	fcols := spec.Filter.Cols()
 	chunks := make([]*Chunk, nb)
@@ -285,11 +322,11 @@ func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, 
 		if errs[k] = ctx.Err(); errs[k] != nil {
 			return
 		}
-		if m.SkipBlock(br.BlockAt(k)) {
+		if m.SkipBlock(src.BlockAt(k)) {
 			stats.BlocksPruned.Add(1)
 			return
 		}
-		bd, err := br.ReadBlock(k)
+		bd, err := src.ReadBlock(k)
 		if err != nil {
 			errs[k] = err
 			return
@@ -298,7 +335,7 @@ func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, 
 		stats.RowsTotal.Add(int64(bd.Count()))
 		if m.Empty() {
 			ck := &Chunk{N: bd.Count()}
-			src := &lazySrc{bd: bd, stats: stats}
+			lz := &lazySrc{bd: bd, stats: stats}
 			if spec.Cols != 0 {
 				var cols trace.Columns
 				decoded, err := bd.Decode(spec.Cols, &cols)
@@ -306,45 +343,86 @@ func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, 
 					errs[k] = err
 					return
 				}
-				stats.DecodedBytes.Add(decoded)
-				src.have = spec.Cols
+				lz.have = spec.Cols
 				if !bd.Projectable() {
-					src.have = trace.AllCols
+					lz.have = trace.AllCols
 				}
-				stats.countSegs(bd, src.have)
-				ck.adopt(&cols, nil, src.have)
+				if decoded > 0 { // 0 = shared-cache memo hit, nothing decoded
+					stats.DecodedBytes.Add(decoded)
+					stats.countSegs(bd, lz.have)
+				}
+				ck.adopt(&cols, nil, lz.have)
 			}
 			ck.captureRuns(bd)
-			if src.have != trace.AllCols {
-				ck.lazy = src
+			if lz.have != trace.AllCols {
+				ck.lazy = lz
 			}
 			stats.RowsKept.Add(int64(ck.N))
 			chunks[k] = ck
 			return
 		}
+		// Compressed-domain predicate: a single-dimension filter over a
+		// run-structured segment selects rows directly from the runs — at
+		// exact final size, with the filter column itself synthesized from
+		// the runs so its segment is never decoded; otherwise the
+		// dimensions the kernel registry can serve narrow a keep bitmap
+		// and leave the residual set. Either way the decode shrinks to
+		// residual columns only.
+		sel, syn, selAll, direct := compressedSel(m, bd)
+		var kb *keepBuf
+		var residual trace.ColSet
+		served := direct
+		if !direct {
+			kb, residual, served = compressedKeep(m, bd)
+		}
+		stats.tickKernel(KPredicate, served)
 		want := fcols | spec.Cols
+		if served {
+			want = residual | spec.Cols
+		}
 		var cols trace.Columns
 		decoded, err := bd.Decode(want, &cols)
 		if err != nil {
 			errs[k] = err
 			return
 		}
-		stats.DecodedBytes.Add(decoded)
 		have := want
 		if !bd.Projectable() {
 			have = trace.AllCols
 		}
-		stats.countSegs(bd, have)
-		sel := selectRows(m, &cols, have)
-		stats.RowsKept.Add(int64(len(sel)))
-		if len(sel) == 0 {
+		if decoded > 0 {
+			stats.DecodedBytes.Add(decoded)
+			stats.countSegs(bd, have)
+		}
+		if !direct {
+			if served {
+				var keep []bool
+				if kb != nil {
+					keep = kb.b
+				}
+				sel = selectRowsResidual(m, &cols, keep, residual)
+			} else {
+				sel = selectRows(m, &cols, have)
+			}
+			releaseKeep(kb)
+		}
+		if !selAll && len(sel) == cols.N {
+			selAll = true
+		}
+		kept := len(sel)
+		if selAll {
+			kept, sel = bd.Count(), nil // whole block kept: adopt without copying
+		}
+		stats.RowsKept.Add(int64(kept))
+		if kept == 0 {
 			return // every row filtered out; chunk dropped entirely
 		}
-		ck := &Chunk{N: len(sel)}
-		if len(sel) == cols.N {
-			sel = nil // whole block kept: adopt slices without copying
-		}
+		ck := &Chunk{N: kept}
 		ck.adopt(&cols, sel, have)
+		if sel != nil && syn.set != 0 {
+			syn.install(ck)
+			have |= syn.set
+		}
 		if sel == nil {
 			ck.captureRuns(bd)
 		}
@@ -358,7 +436,7 @@ func FromBlocksSpecContext(ctx context.Context, br *trace.BlockReader, par int, 
 			return nil, err
 		}
 	}
-	t := &Table{}
+	t := &Table{stats: stats}
 	for _, ck := range chunks {
 		if ck == nil {
 			continue
@@ -407,18 +485,18 @@ func selectRows(m *trace.Matcher, cols *trace.Columns, have trace.ColSet) []int3
 
 // fromBlocksSpecSlow serves non-default block geometries: blocks still
 // prune from the index, but surviving events re-chunk through a Builder.
-func fromBlocksSpecSlow(ctx context.Context, br *trace.BlockReader, spec ScanSpec, m *trace.Matcher, stats *ScanStats) (*Table, error) {
+func fromBlocksSpecSlow(ctx context.Context, src trace.BlockSource, spec ScanSpec, m *trace.Matcher, stats *ScanStats) (*Table, error) {
 	b := NewBuilder()
-	nb := br.NumBlocks()
+	nb := src.NumBlocks()
 	for k := 0; k < nb; k++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if m.SkipBlock(br.BlockAt(k)) {
+		if m.SkipBlock(src.BlockAt(k)) {
 			stats.BlocksPruned.Add(1)
 			continue
 		}
-		bd, err := br.ReadBlock(k)
+		bd, err := src.ReadBlock(k)
 		if err != nil {
 			return nil, err
 		}
@@ -429,8 +507,10 @@ func fromBlocksSpecSlow(ctx context.Context, br *trace.BlockReader, spec ScanSpe
 		if err != nil {
 			return nil, err
 		}
-		stats.DecodedBytes.Add(decoded)
-		stats.countSegs(bd, trace.AllCols)
+		if decoded > 0 {
+			stats.DecodedBytes.Add(decoded)
+			stats.countSegs(bd, trace.AllCols)
+		}
 		for j := 0; j < cols.N; j++ {
 			if !m.Match(cols.Level[j], cols.Op[j], cols.Rank[j], cols.Start[j]) {
 				continue
@@ -452,5 +532,7 @@ func fromBlocksSpecSlow(ctx context.Context, br *trace.BlockReader, spec ScanSpe
 			stats.RowsKept.Add(1)
 		}
 	}
-	return b.Finish(), nil
+	t := b.Finish()
+	t.stats = stats
+	return t, nil
 }

@@ -333,10 +333,46 @@ func (a *analysis) fusedScan() error {
 			return
 		}
 		c := a.tb.ChunkAt(k)
-		if errs[k] = c.Require(pass1Cols); errs[k] != nil {
+		// Kernel request: serve the pass from constant-key spans over the
+		// encoded segments, materializing only End (whose delta-chain
+		// segment has no compressed-domain form). Fallback: materialize the
+		// pass's full column set and iterate rows.
+		spans, spanOK := a.tb.ChunkSpans(k, nil)
+		need := pass1Cols
+		if spanOK {
+			need = trace.ColEnd
+		}
+		if errs[k] = c.Require(need); errs[k] != nil {
 			return
 		}
 		p := &pass1{levels: map[appFile]uint8{}, appRanks: map[int32]map[int32]bool{}}
+		if spanOK {
+			for _, e := range c.End {
+				if e > p.maxEnd {
+					p.maxEnd = e
+				}
+			}
+			for _, s := range spans {
+				if trace.Op(s.Op) == trace.OpGPUCompute {
+					p.gpu = true
+				}
+				ranks := p.appRanks[s.App]
+				if ranks == nil {
+					ranks = map[int32]bool{}
+					p.appRanks[s.App] = ranks
+				}
+				ranks[s.Rank] = true
+				if !trace.Op(s.Op).IsIO() {
+					continue
+				}
+				key := appFile{s.App, s.File}
+				if cur, ok := p.levels[key]; !ok || s.Level < cur {
+					p.levels[key] = s.Level
+				}
+			}
+			p1[k] = p
+			return
+		}
 		for j := 0; j < c.N; j++ {
 			if c.End[j] > p.maxEnd {
 				p.maxEnd = c.End[j]
@@ -403,7 +439,16 @@ func (a *analysis) fusedScan() error {
 			return
 		}
 		c := a.tb.ChunkAt(k)
-		if errs[k] = c.Require(pass2Cols); errs[k] != nil {
+		// Same kernel request as pass 1: spans hoist every per-row map
+		// lookup, level check and op dispatch to span boundaries; only the
+		// Size/Start/End accumulations stay per-row, in unchanged row
+		// order, so the result is byte-identical to the row loop.
+		spans, spanOK := a.tb.ChunkSpans(k, nil)
+		need := pass2Cols
+		if spanOK {
+			need = trace.ColSize | trace.ColStart | trace.ColEnd
+		}
+		if errs[k] = c.Require(need); errs[k] != nil {
 			return
 		}
 		p := &pass2{
@@ -412,6 +457,11 @@ func (a *analysis) fusedScan() error {
 			readTL:  stats.NewTimeline(span, bins),
 			writeTL: stats.NewTimeline(span, bins),
 			perRank: map[int32]*rankAcc{},
+		}
+		if spanOK {
+			a.spanPass2(c, spans, levels, p)
+			p2[k] = p
+			return
 		}
 		for j := 0; j < c.N; j++ {
 			op := trace.Op(c.Op[j])
@@ -532,6 +582,104 @@ func (a *analysis) fusedScan() error {
 		}
 	}
 	return nil
+}
+
+// spanPass2 runs pass 2 over one chunk's constant-key spans: the level
+// check, primary resolution, file and rank accumulator lookups and the op
+// dispatch happen once per span instead of once per row, and only the
+// Size/Start/End accumulations walk rows — in the same order as the row
+// loop, so every per-chunk partial is identical to the fallback's.
+func (a *analysis) spanPass2(c *colstore.Chunk, spans []colstore.Span, levels map[appFile]uint8, p *pass2) {
+	for _, s := range spans {
+		op := trace.Op(s.Op)
+		if !op.IsIO() {
+			continue
+		}
+		if trace.Level(s.Level) == trace.LevelPosix {
+			for j := s.Lo; j < s.Hi; j++ {
+				p.posix = append(p.posix, c.Base+j)
+			}
+		}
+		if s.Level != levels[appFile{s.App, s.File}] {
+			continue
+		}
+		rows := p.byApp[s.App]
+		for j := s.Lo; j < s.Hi; j++ {
+			p.primary = append(p.primary, c.Base+j)
+			rows = append(rows, c.Base+j)
+		}
+		p.byApp[s.App] = rows
+		n := int64(s.Hi - s.Lo)
+		if op.IsData() {
+			p.data += n
+		} else if op.IsMeta() {
+			p.meta += n
+		}
+		var fa *fileAgg
+		if s.File >= 0 {
+			fa = p.files[s.File]
+			if fa == nil {
+				fa = newFileAgg(s.File)
+				p.files[s.File] = fa
+			}
+			fa.ranks[s.Rank] = true
+			for j := s.Lo; j < s.Hi; j++ {
+				fa.ioDur += time.Duration(c.End[j] - c.Start[j])
+			}
+		}
+		acc := p.perRank[s.Rank]
+		if acc == nil {
+			acc = &rankAcc{}
+			p.perRank[s.Rank] = acc
+		}
+		switch op {
+		case trace.OpRead:
+			for j := s.Lo; j < s.Hi; j++ {
+				sz, dur := c.Size[j], c.End[j]-c.Start[j]
+				p.readBytes += sz
+				p.readHist.Add(sz, time.Duration(dur))
+				p.readTL.Add(time.Duration(c.Start[j]), time.Duration(c.End[j]), sz)
+				acc.rBytes += sz
+				acc.rDur += dur
+			}
+			if fa != nil {
+				for j := s.Lo; j < s.Hi; j++ {
+					fa.bytesRead += c.Size[j]
+				}
+				fa.readerRanks[s.Rank] = true
+				fa.readerNodes[s.Node] = true
+				fa.readerApps[s.App] = true
+				fa.dataOps += n
+			}
+		case trace.OpWrite:
+			for j := s.Lo; j < s.Hi; j++ {
+				sz, dur := c.Size[j], c.End[j]-c.Start[j]
+				p.writeBytes += sz
+				p.writeHist.Add(sz, time.Duration(dur))
+				p.writeTL.Add(time.Duration(c.Start[j]), time.Duration(c.End[j]), sz)
+				acc.wBytes += sz
+				acc.wDur += dur
+			}
+			if fa != nil {
+				for j := s.Lo; j < s.Hi; j++ {
+					fa.bytesWritten += c.Size[j]
+				}
+				fa.writerRanks[s.Rank] = true
+				fa.writerNodes[s.Node] = true
+				fa.writerApps[s.App] = true
+				fa.dataOps += n
+			}
+		case trace.OpOpen:
+			if fa != nil {
+				fa.opens += n
+				fa.metaOps += n
+			}
+		default:
+			if fa != nil {
+				fa.metaOps += n
+			}
+		}
+	}
 }
 
 // byApp row lists concatenate per-chunk partials whose in-chunk appends are

@@ -1,0 +1,196 @@
+package server
+
+// The shared decoded-block cache: VANITRC2 traces vanid serves repeatedly
+// keep their bytes mmap-resident and their decoded blocks memoized, so a
+// hot trace decodes each block exactly once across all requests — a report
+// re-query with a different filter spec performs zero block decodes. The
+// cache is trace-granular LRU (an entry is one spooled trace, keyed by its
+// content SHA; block handles within it are keyed by block index and
+// published first-wins), bounded by a byte budget that charges each entry
+// its worst case: the raw bytes, one retained payload copy per block, and
+// the fully memoized columns. Entries pinned by in-flight scans (refs > 0)
+// never evict mid-read.
+
+import (
+	"bytes"
+	"container/list"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"vani/internal/trace"
+)
+
+// blockCache is the trace-granular LRU of mmap-backed block sources.
+type blockCache struct {
+	metrics  *Metrics
+	capBytes int64
+
+	mu    sync.Mutex
+	used  int64
+	order *list.List               // front = most recently used
+	bySHA map[string]*list.Element // value: *traceEntry
+}
+
+func newBlockCache(capBytes int64, m *Metrics) *blockCache {
+	return &blockCache{
+		metrics:  m,
+		capBytes: capBytes,
+		order:    list.New(),
+		bySHA:    make(map[string]*list.Element),
+	}
+}
+
+// traceEntry is one cached trace: its raw bytes (mmap-backed where the
+// platform allows), a block reader over them, and the first-wins published
+// decoded-block handles.
+type traceEntry struct {
+	sha    string
+	data   []byte
+	mapped bool
+	br     *trace.BlockReader
+	blocks []atomic.Pointer[trace.BlockData]
+	bytes  int64 // worst-case charge; see newTraceEntry
+	refs   int   // in-flight scans; guarded by the cache mutex
+}
+
+// newTraceEntry maps the spooled trace and parses its footer. The entry's
+// byte charge is the worst case it can grow to: the raw bytes, one
+// retained heap payload copy per block (payloads together are at most the
+// file size), and every block's columns memoized.
+func newTraceEntry(sha, path string) (*traceEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, mapped, err := mapFile(f, info.Size())
+	if err != nil || data == nil {
+		// Mapping unavailable (or an empty file): fall back to the heap.
+		if data, err = os.ReadFile(path); err != nil {
+			return nil, err
+		}
+		mapped = false
+	}
+	e := &traceEntry{sha: sha, data: data, mapped: mapped}
+	e.br, err = trace.NewBlockReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		e.drop()
+		return nil, err
+	}
+	e.blocks = make([]atomic.Pointer[trace.BlockData], e.br.NumBlocks())
+	e.bytes = 2*int64(len(data)) + int64(e.br.NumEvents())*trace.MemoRowBytes
+	return e, nil
+}
+
+// drop releases the entry's raw bytes. Callers must guarantee no reader
+// still touches them (refs == 0, or the entry never published).
+func (e *traceEntry) drop() {
+	if e.mapped {
+		unmapFile(e.data) //nolint:errcheck // nothing to do about munmap failure
+	}
+	e.data, e.br = nil, nil
+}
+
+// acquire returns a pinned block source for the trace, building and
+// inserting an entry on miss. Release with release when the scan is done.
+func (bc *blockCache) acquire(sha, path string) (*cachedSource, error) {
+	bc.mu.Lock()
+	if el, ok := bc.bySHA[sha]; ok {
+		bc.order.MoveToFront(el)
+		e := el.Value.(*traceEntry)
+		e.refs++
+		bc.mu.Unlock()
+		return &cachedSource{e: e, m: bc.metrics}, nil
+	}
+	bc.mu.Unlock()
+
+	// Build outside the lock: mapping and footer parsing can be slow.
+	e, err := newTraceEntry(sha, path)
+	if err != nil {
+		return nil, err
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if el, ok := bc.bySHA[sha]; ok {
+		e.drop() // lost the build race; use the winner
+		bc.order.MoveToFront(el)
+		winner := el.Value.(*traceEntry)
+		winner.refs++
+		return &cachedSource{e: winner, m: bc.metrics}, nil
+	}
+	bc.evictFor(e.bytes)
+	e.refs = 1
+	bc.bySHA[sha] = bc.order.PushFront(e)
+	bc.used += e.bytes
+	bc.metrics.BlockCacheBytes.Store(bc.used)
+	return &cachedSource{e: e, m: bc.metrics}, nil
+}
+
+// release unpins one scan's hold on the source's entry.
+func (bc *blockCache) release(cs *cachedSource) {
+	bc.mu.Lock()
+	cs.e.refs--
+	bc.mu.Unlock()
+}
+
+// evictFor drops least-recently-used unpinned entries until need bytes fit
+// in the budget (or nothing evictable remains — an oversized active trace
+// is served anyway rather than refused). Caller holds the mutex.
+func (bc *blockCache) evictFor(need int64) {
+	for el := bc.order.Back(); el != nil && bc.used+need > bc.capBytes; {
+		prev := el.Prev()
+		e := el.Value.(*traceEntry)
+		if e.refs == 0 {
+			bc.order.Remove(el)
+			delete(bc.bySHA, e.sha)
+			bc.used -= e.bytes
+			e.drop()
+		}
+		el = prev
+	}
+	bc.metrics.BlockCacheBytes.Store(bc.used)
+}
+
+// Len reports the number of cached traces (tests).
+func (bc *blockCache) Len() int {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.order.Len()
+}
+
+// cachedSource adapts a pinned cache entry to trace.BlockSource. ReadBlock
+// publishes decoded-block handles first-wins and enables each block's
+// column memo, so every block of a hot trace is read and decoded at most
+// once no matter how many requests scan it.
+type cachedSource struct {
+	e *traceEntry
+	m *Metrics
+}
+
+func (cs *cachedSource) Header() *trace.Trace          { return cs.e.br.Header() }
+func (cs *cachedSource) NumBlocks() int                { return cs.e.br.NumBlocks() }
+func (cs *cachedSource) BlockEvents() int              { return cs.e.br.BlockEvents() }
+func (cs *cachedSource) NumEvents() uint64             { return cs.e.br.NumEvents() }
+func (cs *cachedSource) BlockAt(k int) trace.BlockInfo { return cs.e.br.BlockAt(k) }
+
+func (cs *cachedSource) ReadBlock(k int) (*trace.BlockData, error) {
+	if bd := cs.e.blocks[k].Load(); bd != nil {
+		cs.m.BlockCacheHits.Add(1)
+		return bd, nil
+	}
+	cs.m.BlockCacheMisses.Add(1)
+	bd, err := cs.e.br.ReadBlock(k)
+	if err != nil {
+		return nil, err
+	}
+	bd.EnableMemo()
+	if !cs.e.blocks[k].CompareAndSwap(nil, bd) {
+		bd = cs.e.blocks[k].Load() // concurrent reader won the publish
+	}
+	return bd, nil
+}

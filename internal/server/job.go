@@ -84,7 +84,7 @@ func (s *Server) runJob(j *job) {
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
 
-	rep, sc, err := s.characterize(s.baseCtx, j.path, j.filter, j.reportID)
+	rep, sc, err := s.characterize(s.baseCtx, j.path, j.traceSHA, j.filter, j.reportID)
 	if err != nil {
 		j.setState(jobFailed, err.Error())
 		s.metrics.JobsFailed.Add(1)
@@ -101,7 +101,9 @@ func (s *Server) runJob(j *job) {
 // characterize runs the analyzer over the spooled trace at path exactly the
 // way cmd/vani does — same default storage model, same filter pushdown, same
 // YAML renderer — so the served artifact is byte-identical to the CLI's.
-func (s *Server) characterize(ctx context.Context, path string, f trace.Filter, id string) (*report, colstore.ScanCounters, error) {
+// VANITRC2 traces route through the shared decoded-block cache: repeat
+// queries against a hot trace (any filter spec) perform zero block decodes.
+func (s *Server) characterize(ctx context.Context, path, sha string, f trace.Filter, id string) (*report, colstore.ScanCounters, error) {
 	opt := vani.DefaultAnalyzerOptions()
 	opt.Storage = s.storageCfg()
 	opt.Parallelism = s.cfg.Parallelism
@@ -109,7 +111,7 @@ func (s *Server) characterize(ctx context.Context, path string, f trace.Filter, 
 	var timings vani.AnalyzerTimings
 	opt.Stats = &timings
 
-	c, err := vani.CharacterizeFileContext(ctx, path, opt)
+	c, err := s.analyze(ctx, path, sha, opt)
 	if err != nil {
 		return nil, colstore.ScanCounters{}, err
 	}
@@ -119,4 +121,22 @@ func (s *Server) characterize(ctx context.Context, path string, f trace.Filter, 
 	}
 	js = append(js, '\n')
 	return &report{ID: id, YAML: vani.ToYAML(c), JSON: js}, timings.Scan, nil
+}
+
+// analyze picks the read path: block-cached for VANITRC2 when the cache is
+// on, the plain file path otherwise. Both produce the identical
+// characterization; the cache only changes where blocks decode.
+func (s *Server) analyze(ctx context.Context, path, sha string, opt vani.AnalyzerOptions) (*vani.Characterization, error) {
+	if s.blocks != nil && sha != "" {
+		if format, err := trace.SniffFile(path); err == nil && format == trace.FormatV2 {
+			src, err := s.blocks.acquire(sha, path)
+			if err == nil {
+				defer s.blocks.release(src)
+				return vani.CharacterizeBlocksContext(ctx, src, opt)
+			}
+			// Cache build failed (mmap limits, truncated spool): the plain
+			// file path below still serves the request.
+		}
+	}
+	return vani.CharacterizeFileContext(ctx, path, opt)
 }

@@ -36,6 +36,18 @@ type Metrics struct {
 	ScanSegRLE  atomic.Int64
 	ScanSegDict atomic.Int64
 	ScanSegFOR  atomic.Int64
+
+	// Compressed-domain kernel requests served from encoded segments vs
+	// fallen back to materialized row iteration, summed over jobs.
+	ScanKernelsServed   atomic.Int64
+	ScanKernelsFallback atomic.Int64
+
+	// Shared decoded-block cache: block handles served without a read or
+	// decode, blocks read and decoded into the cache, and the cache's
+	// current worst-case byte charge (a gauge).
+	BlockCacheHits   atomic.Int64
+	BlockCacheMisses atomic.Int64
+	BlockCacheBytes  atomic.Int64
 }
 
 // AddScan folds one job's scan counters into the totals.
@@ -50,6 +62,8 @@ func (m *Metrics) AddScan(sc colstore.ScanCounters) {
 	m.ScanSegRLE.Add(sc.SegRLE)
 	m.ScanSegDict.Add(sc.SegDict)
 	m.ScanSegFOR.Add(sc.SegFOR)
+	m.ScanKernelsServed.Add(sc.KernelsServed)
+	m.ScanKernelsFallback.Add(sc.KernelsFallback)
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics.
@@ -73,6 +87,13 @@ type MetricsSnapshot struct {
 	ScanSegRLE  int64 `json:"scan_segs_rle"`
 	ScanSegDict int64 `json:"scan_segs_dict"`
 	ScanSegFOR  int64 `json:"scan_segs_for"`
+
+	ScanKernelsServed   int64 `json:"scan_kernels_served"`
+	ScanKernelsFallback int64 `json:"scan_kernels_fallback"`
+
+	BlockCacheHits   int64 `json:"block_cache_hits"`
+	BlockCacheMisses int64 `json:"block_cache_misses"`
+	BlockCacheBytes  int64 `json:"block_cache_bytes"`
 }
 
 // Snapshot reads every counter.
@@ -97,6 +118,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ScanSegRLE:  m.ScanSegRLE.Load(),
 		ScanSegDict: m.ScanSegDict.Load(),
 		ScanSegFOR:  m.ScanSegFOR.Load(),
+
+		ScanKernelsServed:   m.ScanKernelsServed.Load(),
+		ScanKernelsFallback: m.ScanKernelsFallback.Load(),
+
+		BlockCacheHits:   m.BlockCacheHits.Load(),
+		BlockCacheMisses: m.BlockCacheMisses.Load(),
+		BlockCacheBytes:  m.BlockCacheBytes.Load(),
 	}
 }
 

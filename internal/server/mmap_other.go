@@ -1,0 +1,11 @@
+//go:build !(linux || darwin)
+
+package server
+
+import "os"
+
+// mapFile on platforms without the mmap syscall surface: always defer to
+// the heap-read fallback.
+func mapFile(*os.File, int64) ([]byte, bool, error) { return nil, false, nil }
+
+func unmapFile([]byte) error { return nil }

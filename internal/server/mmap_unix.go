@@ -1,0 +1,23 @@
+//go:build linux || darwin
+
+package server
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. A nil slice with nil error means the
+// file is empty; the caller falls back to a heap read on any error.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

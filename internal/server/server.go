@@ -38,6 +38,11 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the report cache (default 256).
 	CacheEntries int
+	// CacheBytes bounds the shared decoded-block cache's worst-case
+	// residency (default 256 MiB). Hot VANITRC2 traces stay mmap-resident
+	// with their blocks decoded once across requests; 0 keeps the default,
+	// negative disables the cache.
+	CacheBytes int64
 	// SpoolDir receives uploaded traces, content-addressed by SHA-256
 	// (default: a fresh directory under os.TempDir).
 	SpoolDir string
@@ -59,6 +64,9 @@ func (c *Config) fill() error {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
 	if c.SpoolDir == "" {
 		dir, err := os.MkdirTemp("", "vanid-spool-")
 		if err != nil {
@@ -77,6 +85,7 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *Metrics
 	cache   *reportCache
+	blocks  *blockCache // shared decoded-block cache; nil when disabled
 
 	baseCtx context.Context // canceled to abort in-flight jobs
 	abort   context.CancelFunc
@@ -102,15 +111,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	metrics := &Metrics{}
 	s := &Server{
 		cfg:         cfg,
-		metrics:     &Metrics{},
+		metrics:     metrics,
 		cache:       newReportCache(cfg.CacheEntries),
 		baseCtx:     ctx,
 		abort:       cancel,
 		queue:       make(chan *job, cfg.QueueDepth),
 		jobs:        make(map[string]*job),
 		jobByReport: make(map[string]*job),
+	}
+	if cfg.CacheBytes > 0 {
+		s.blocks = newBlockCache(cfg.CacheBytes, metrics)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
@@ -303,13 +316,13 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 // client that disconnects or times out aborts the scan mid-trace. Results
 // still land in the shared cache.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
-	path, _, repID, f, ok := s.admit(w, r)
+	path, sha, repID, f, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	s.metrics.CacheMisses.Add(1)
 	s.metrics.JobsRunning.Add(1)
-	rep, sc, err := s.characterize(r.Context(), path, f, repID)
+	rep, sc, err := s.characterize(r.Context(), path, sha, f, repID)
 	s.metrics.JobsRunning.Add(-1)
 	if err != nil {
 		s.metrics.JobsFailed.Add(1)

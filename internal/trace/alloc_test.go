@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// allocTrace builds a trace big enough that one block's frame is hundreds of
+// kilobytes — a leaked frame buffer per failed decode shows up unmistakably
+// in the heap numbers.
+func allocTrace(n int) *Trace {
+	tr := NewTracer()
+	tr.SetMeta(Meta{Workload: "alloc", Nodes: 2, Ranks: 8, PFSDir: "/p"})
+	id := tr.FileID("/p/f")
+	for i := 0; i < n; i++ {
+		tr.Record(Event{
+			Level: LevelPosix, Op: OpWrite, Rank: int32(i % 8), File: id,
+			Offset: int64(i) * 4096, Size: int64(i%977) * 7,
+			Start: time.Duration(i + 1), End: time.Duration(i + 2),
+		})
+	}
+	return tr.Finish()
+}
+
+// TestDecodeErrorReturnsPooledScratch: a decode that fails must recycle its
+// pooled frame scratch — steady-state heap growth across repeated failing
+// decodes stays far below one frame buffer per attempt. This pins the
+// error-path pool discipline in readBlockPayload.
+func TestDecodeErrorReturnsPooledScratch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under the race detector")
+	}
+	for _, compress := range []bool{false, true} {
+		tr := allocTrace(DefaultBlockEvents + 50)
+		var buf bytes.Buffer
+		if err := WriteV2With(&buf, tr, V2Options{Compress: compress}); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		br, err := NewBlockReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt block 0's frame codec byte so unwrapFrame rejects it on
+		// every read — the earliest error path, before any payload escapes.
+		bi := br.BlockAt(0)
+		data[bi.Offset] = 0xEE
+		frameLen := bi.Len
+
+		var cols Columns
+		fail := func() {
+			if err := br.DecodeColumns(0, &cols); err == nil {
+				t.Fatal("corrupt frame decoded cleanly")
+			} else if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("decode error %v does not wrap ErrBadFormat", err)
+			}
+		}
+		fail() // warm the pools
+		const iters = 100
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < iters; i++ {
+			fail()
+		}
+		runtime.ReadMemStats(&after)
+		grown := int64(after.TotalAlloc - before.TotalAlloc)
+		// A leak allocates one frame buffer per attempt; recycled scratch
+		// leaves only error values behind. Allow generous slack for those.
+		if limit := frameLen*iters/10 + 64*1024; grown > limit {
+			t.Errorf("compress=%v: %d failing decodes allocated %d bytes (frame is %d); pooled scratch is leaking",
+				compress, iters, grown, frameLen)
+		}
+	}
+}
+
+// TestDecodeErrorAllocsPerOp bounds the allocation count of a failing
+// decode: with scratch recycled, only the error chain allocates.
+func TestDecodeErrorAllocsPerOp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under the race detector")
+	}
+	tr := allocTrace(2000)
+	var buf bytes.Buffer
+	if err := WriteV2With(&buf, tr, V2Options{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	br, err := NewBlockReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[br.BlockAt(0).Offset] = 0xEE
+	var cols Columns
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := br.DecodeColumns(0, &cols); err == nil {
+			t.Fatal("corrupt frame decoded cleanly")
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("failing decode allocates %.1f objects/op, want <= 16", allocs)
+	}
+}

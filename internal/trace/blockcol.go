@@ -12,6 +12,7 @@ package trace
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -352,6 +353,58 @@ type BlockData struct {
 	colLens     [NumCols]int64
 	segCodecs   [NumCols]uint8
 	hasCodecs   bool
+	memo        *colMemo
+}
+
+// colMemo caches a block's fully decoded columns so a handle shared across
+// requests (vanid's block cache) decodes its payload exactly once.
+type colMemo struct {
+	mu     sync.Mutex
+	filled bool
+	cols   Columns
+	bytes  int64 // payload bytes decoded by the single fill
+}
+
+// memoRowBytes is the resident size of one decoded row across all eleven
+// columns (3 × uint8, 4 × int32, 4 × int64) — the cache-budget estimate for
+// a filled memo.
+const memoRowBytes = 3*1 + 4*4 + 4*8
+
+// MemoRowBytes is the worst-case resident bytes one memoized row costs —
+// the budget unit for memory-bounded block caches.
+const MemoRowBytes = memoRowBytes
+
+// EnableMemo arms the block's decoded-column memo: the first Decode call
+// materializes every column once and reports its decoded byte count; every
+// later call copies the cached values out and reports zero decoded bytes.
+// A memoized BlockData is safe for concurrent Decode calls — that is what
+// lets vanid's shared block cache hand one handle to many requests.
+func (bd *BlockData) EnableMemo() {
+	if bd.memo == nil {
+		bd.memo = &colMemo{}
+	}
+}
+
+// MemoBytes returns the resident size of the decoded-column memo once
+// filled, for cache byte budgeting.
+func (bd *BlockData) MemoBytes() int64 { return int64(bd.count) * memoRowBytes }
+
+// copyColumns fills dst with a copy of src's values. The memo's slices are
+// shared across requests, so callers get copies they are free to adopt,
+// reuse, or overwrite.
+func copyColumns(dst, src *Columns) {
+	dst.grow(src.N)
+	copy(dst.Level, src.Level)
+	copy(dst.Op, src.Op)
+	copy(dst.Lib, src.Lib)
+	copy(dst.Rank, src.Rank)
+	copy(dst.Node, src.Node)
+	copy(dst.App, src.App)
+	copy(dst.File, src.File)
+	copy(dst.Offset, src.Offset)
+	copy(dst.Size, src.Size)
+	copy(dst.Start, src.Start)
+	copy(dst.End, src.End)
 }
 
 // Count returns the number of events in the block.
@@ -457,7 +510,7 @@ func (bd *BlockData) DecodeRuns(col int) ([]Run, error) {
 		off += bd.colLens[i]
 	}
 	c := &byteCursor{b: bd.payload[off+1 : off+bd.colLens[col]]}
-	runs, err := decodeSegRuns(c, bd.count, set&unsignedCols != 0)
+	runs, err := decodeSegRuns(c, bd.count, set&unsignedCols != 0, nil)
 	if err != nil {
 		return nil, fmt.Errorf("block %d %s column: %w", bd.block, colNames[col], err)
 	}
@@ -472,8 +525,33 @@ func (bd *BlockData) DecodeRuns(col int) ([]Run, error) {
 // Projectable blocks decode only the wanted segments; row-layout blocks and
 // columnar blocks without byte ranges fall back to a full decode (every
 // column filled, full payload size reported). Additive: columns decoded by
-// an earlier call on the same cols are preserved.
+// an earlier call on the same cols are preserved. Memoized blocks (see
+// EnableMemo) decode every column exactly once and serve later calls as
+// copies reporting zero decoded bytes.
 func (bd *BlockData) Decode(want ColSet, cols *Columns) (int64, error) {
+	m := bd.memo
+	if m == nil {
+		return bd.decodeInto(want, cols)
+	}
+	m.mu.Lock()
+	if !m.filled {
+		n, err := bd.decodeInto(AllCols, &m.cols)
+		if err != nil {
+			m.mu.Unlock()
+			return 0, err
+		}
+		m.bytes, m.filled = n, true
+		m.mu.Unlock()
+		copyColumns(cols, &m.cols)
+		return n, nil
+	}
+	m.mu.Unlock()
+	copyColumns(cols, &m.cols)
+	return 0, nil
+}
+
+// decodeInto is Decode without the memo layer.
+func (bd *BlockData) decodeInto(want ColSet, cols *Columns) (int64, error) {
 	if !bd.projectable {
 		var err error
 		switch bd.kind {
@@ -492,7 +570,7 @@ func (bd *BlockData) Decode(want ColSet, cols *Columns) (int64, error) {
 		}
 		return int64(len(bd.payload)), nil
 	}
-	cols.grow(bd.count)
+	cols.growSet(bd.count, want)
 	// The count prefix was parsed by ReadBlock; only segment bytes count.
 	var decoded int64
 	off := int64(bd.segBase)

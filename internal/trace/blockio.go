@@ -638,6 +638,58 @@ type Columns struct {
 	End    []int64 // nanoseconds
 }
 
+// growSet resizes only the columns in set to n rows, reusing capacity
+// where possible. Columns outside set are left untouched — possibly stale
+// from an earlier decode — so callers must read only the columns they
+// asked for.
+func (cols *Columns) growSet(n int, set ColSet) {
+	if set == AllCols {
+		cols.grow(n)
+		return
+	}
+	cols.N = n
+	if set&ColLevel != 0 {
+		cols.Level = growSlice(cols.Level, n)
+	}
+	if set&ColOp != 0 {
+		cols.Op = growSlice(cols.Op, n)
+	}
+	if set&ColLib != 0 {
+		cols.Lib = growSlice(cols.Lib, n)
+	}
+	if set&ColRank != 0 {
+		cols.Rank = growSlice(cols.Rank, n)
+	}
+	if set&ColNode != 0 {
+		cols.Node = growSlice(cols.Node, n)
+	}
+	if set&ColApp != 0 {
+		cols.App = growSlice(cols.App, n)
+	}
+	if set&ColFile != 0 {
+		cols.File = growSlice(cols.File, n)
+	}
+	if set&ColOffset != 0 {
+		cols.Offset = growSlice(cols.Offset, n)
+	}
+	if set&ColSize != 0 {
+		cols.Size = growSlice(cols.Size, n)
+	}
+	if set&ColStart != 0 {
+		cols.Start = growSlice(cols.Start, n)
+	}
+	if set&ColEnd != 0 {
+		cols.End = growSlice(cols.End, n)
+	}
+}
+
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // grow resizes every column to n rows, reusing capacity where possible.
 func (cols *Columns) grow(n int) {
 	cols.N = n
@@ -1153,6 +1205,21 @@ func (br *BlockReader) NumEvents() uint64 { return br.nEvents }
 // bounds) without decoding it — the seekable pruning surface.
 func (br *BlockReader) BlockAt(k int) BlockInfo { return br.blocks[k] }
 
+// BlockSource is the read surface the columnar scan consumes: footer-index
+// geometry plus on-demand block handles. *BlockReader is the canonical
+// implementation; vanid wraps one in a caching source so hot traces decode
+// zero times across requests.
+type BlockSource interface {
+	Header() *Trace
+	NumBlocks() int
+	BlockEvents() int
+	NumEvents() uint64
+	BlockAt(k int) BlockInfo
+	ReadBlock(k int) (*BlockData, error)
+}
+
+var _ BlockSource = (*BlockReader)(nil)
+
 // readBlockPayload fetches and unwraps block k's raw payload, reporting its
 // layout. Frame buffers come from a pool and recycle whenever the payload
 // does not alias them (flate frames decompress into fresh memory; raw
@@ -1173,11 +1240,14 @@ func (br *BlockReader) readBlockPayload(k int) ([]byte, payloadKind, error) {
 		return nil, 0, badf("block %d: %v", k, err)
 	}
 	payload, kind, err := unwrapFrame(frame)
-	if len(frame) == 0 || (frame[0] != codecRaw && frame[0] != codecRawCol && frame[0] != codecRawColV22) {
-		frameBufPool.Put(fp) // payload (if any) is a fresh buffer
-	}
 	if err != nil {
+		// No payload escapes on error — recycle unconditionally, including
+		// raw-codec frames whose length claims failed validation.
+		frameBufPool.Put(fp)
 		return nil, 0, fmt.Errorf("block %d: %w", k, err)
+	}
+	if frame[0] != codecRaw && frame[0] != codecRawCol && frame[0] != codecRawColV22 {
+		frameBufPool.Put(fp) // flate payload is a fresh buffer, not an alias
 	}
 	return payload, kind, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+	"time"
 )
 
 // fuzzSeedTrace builds the small valid trace the fuzz targets seed from.
@@ -131,6 +132,43 @@ func FuzzBlockReader(f *testing.F) {
 			f.Add(mutated)
 		}
 	}
+	// Multi-row blocks under forced dict and FOR, bit-flip swept: these land
+	// corruption in dictionary sizes, pack widths, code words and FOR bases —
+	// the wire claims the compressed-domain SegCursor paths (code-space
+	// iteration, run coalescing, header min/max) must reject as ErrBadFormat
+	// rather than mis-iterate or panic.
+	{
+		big := NewTracer()
+		big.SetMeta(Meta{Workload: "fuzz", Nodes: 2, Ranks: 4, PFSDir: "/p/gpfs1"})
+		id := big.FileID("/p/gpfs1/f")
+		for i := 0; i < 48; i++ {
+			op := OpWrite
+			if i%3 == 0 {
+				op = OpRead
+			}
+			big.Record(Event{Op: op, Rank: int32(i / 6 % 4), File: id,
+				Offset: int64(i) * 512, Size: int64(i%7) * 64,
+				Start: time.Duration(i + 1), End: time.Duration(i + 2)})
+		}
+		bigTr := big.Finish()
+		for _, opt := range []V2Options{
+			{BlockEvents: 16, Codec: CodecForceDict},
+			{BlockEvents: 16, Codec: CodecForceFOR},
+			{BlockEvents: 16, Codec: CodecForceRLE},
+		} {
+			var buf bytes.Buffer
+			if err := WriteV2With(&buf, bigTr, opt); err != nil {
+				f.Fatal(err)
+			}
+			valid := buf.Bytes()
+			f.Add(valid)
+			for pos := len(magicV2); pos < len(valid)-trailerLen; pos += 5 {
+				mutated := append([]byte(nil), valid...)
+				mutated[pos] ^= 1 << (pos % 8)
+				f.Add(mutated)
+			}
+		}
+	}
 	f.Add([]byte(magicV2))
 	f.Add([]byte("garbage"))
 
@@ -180,6 +218,47 @@ func FuzzBlockReader(f *testing.F) {
 			// the unit tests over writer-produced logs.
 			if pcols.N != len(evs) {
 				t.Fatalf("block %d: projected decode sees %d rows, row decode %d", k, pcols.N, len(evs))
+			}
+			// The compressed-domain cursors must reject crafted segments as
+			// ErrBadFormat and, when they accept one, iterate structures that
+			// tile the block exactly — never panic or run past the row count.
+			for col := 0; col < NumCols; col++ {
+				cur, err := bd.SegCursorAt(col)
+				if err != nil {
+					if !errors.Is(err, ErrBadFormat) {
+						t.Fatalf("block %d col %d: cursor error %v does not wrap ErrBadFormat", k, col, err)
+					}
+					continue
+				}
+				if cur == nil {
+					continue
+				}
+				if runs := cur.AppendRuns(nil); runs != nil {
+					total := 0
+					for _, r := range runs {
+						total += int(r.N)
+					}
+					if total != cur.Rows() {
+						t.Fatalf("block %d col %d: runs cover %d of %d rows", k, col, total, cur.Rows())
+					}
+				}
+				if nd := cur.NumCodes(); nd > 0 {
+					rows := 0
+					cur.ForEachCode(func(code uint32) bool {
+						if int(code) >= nd {
+							t.Fatalf("block %d col %d: code %d out of %d", k, col, code, nd)
+						}
+						rows++
+						return true
+					})
+					if rows != cur.Rows() {
+						t.Fatalf("block %d col %d: %d codes for %d rows", k, col, rows, cur.Rows())
+					}
+				}
+				// Exercised for panics only: crafted FOR bases can wrap the
+				// mod-2^64 arithmetic, so the values carry no invariants here.
+				_, _, _, _ = cur.FORStats()
+				_, _ = cur.ConstVal()
 			}
 		}
 	})

@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports that this binary runs under the race detector, whose
+// instrumentation skews allocation accounting; alloc-bound tests skip.
+const raceEnabled = true

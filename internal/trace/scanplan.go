@@ -249,6 +249,50 @@ func (m *Matcher) MatchEvent(e *Event) bool {
 	return m.Match(uint8(e.Level), uint8(e.Op), e.Rank, int64(e.Start))
 }
 
+// Per-dimension predicate surface: Match is the conjunction of these four
+// accepts, which is what lets a compressed-domain scan evaluate each
+// dimension independently — per run, or translated once into a dictionary's
+// code space — and intersect the results instead of materializing rows.
+
+// NeedCols returns the columns whose accept is actually constrained; the
+// other dimensions accept everything and need not be evaluated at all.
+func (m *Matcher) NeedCols() ColSet {
+	var s ColSet
+	if m.fromNS > 0 || m.toNS != math.MaxInt64 {
+		s |= ColStart
+	}
+	if m.ranks != nil {
+		s |= ColRank
+	}
+	if m.levelMask != ^uint32(0) {
+		s |= ColLevel
+	}
+	if m.opMask != opMaskFor(OpClassAll) {
+		s |= ColOp
+	}
+	return s
+}
+
+// AcceptStart evaluates the time-window dimension alone.
+func (m *Matcher) AcceptStart(startNS int64) bool {
+	return startNS >= m.fromNS && startNS <= m.toNS
+}
+
+// AcceptRank evaluates the rank dimension alone.
+func (m *Matcher) AcceptRank(rank int32) bool {
+	return m.ranks == nil || m.ranks[rank]
+}
+
+// AcceptLevel evaluates the level dimension alone.
+func (m *Matcher) AcceptLevel(level uint8) bool {
+	return level >= 32 || m.levelMask&(1<<level) != 0
+}
+
+// AcceptOp evaluates the op-class dimension alone.
+func (m *Matcher) AcceptOp(op uint8) bool {
+	return op >= 32 || m.opMask&(1<<op) != 0
+}
+
 // SkipBlock reports whether the block's index entry proves no row in it
 // can match — the pruning decision. Time bounds are present in every
 // footer version; rank bounds and level/op masks require a v2.1 footer

@@ -51,6 +51,16 @@ const (
 // (colstore.ScanStats, /metrics) are indexed by codec id below it.
 const NumSegCodecs = numSegCodecs
 
+// Exported segment codec ids, for cross-package kernel registries keyed by
+// (operation, codec) — colstore registers which compressed-domain kernels
+// each codec can serve.
+const (
+	SegCodecRaw  uint8 = segRaw
+	SegCodecRLE  uint8 = segRLE
+	SegCodecDict uint8 = segDict
+	SegCodecFOR  uint8 = segFOR
+)
+
 // segCodecNames maps codec ids to the names used by flags and reports.
 var segCodecNames = [numSegCodecs]string{"raw", "rle", "dict", "for"}
 
@@ -630,9 +640,19 @@ type Run struct {
 }
 
 // decodeSegRuns decodes an RLE segment body into runs without expanding
-// values. Valid only for value columns (not the Start/End delta chains).
-func decodeSegRuns(c *byteCursor, n int, unsigned bool) ([]Run, error) {
-	var runs []Run
+// values, appending to dst (whose capacity is reused). Valid only for
+// value columns (not the Start/End delta chains).
+func decodeSegRuns(c *byteCursor, n int, unsigned bool, dst []Run) ([]Run, error) {
+	// Each run occupies at least two body bytes (value + length), so the
+	// remaining body bounds the run count; one allocation fits them all.
+	bound := (len(c.b) - c.off) / 2
+	if bound > n {
+		bound = n
+	}
+	runs := dst[:0]
+	if cap(runs) < bound {
+		runs = make([]Run, 0, bound)
+	}
 	filled := 0
 	for filled < n {
 		v := c.storedValue(unsigned)

@@ -302,7 +302,7 @@ func TestV22CountClaimBounded(t *testing.T) {
 func TestDecodeSegRuns(t *testing.T) {
 	vals := []int64{5, 5, 5, -2, -2, 9, 9, 9, 9}
 	body := appendSegBody(nil, segRLE, vals, false)
-	runs, err := decodeSegRuns(&byteCursor{b: body}, len(vals), false)
+	runs, err := decodeSegRuns(&byteCursor{b: body}, len(vals), false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +315,7 @@ func TestDecodeSegRuns(t *testing.T) {
 			t.Fatalf("run %d = %+v, want %+v", i, runs[i], want[i])
 		}
 	}
-	if _, err := decodeSegRuns(&byteCursor{b: []byte{2, 200}}, 9, false); !errors.Is(err, ErrBadFormat) {
+	if _, err := decodeSegRuns(&byteCursor{b: []byte{2, 200}}, 9, false, nil); !errors.Is(err, ErrBadFormat) {
 		t.Fatalf("oversized run error = %v, want ErrBadFormat", err)
 	}
 }

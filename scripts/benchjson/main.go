@@ -62,6 +62,13 @@ type record struct {
 	// encoded size on the same fixture. The regression guard requires
 	// this to stay at or below 1.05.
 	CodecSizeRatio float64 `json:"codec_size_ratio_v22auto_over_v21flate,omitempty"`
+	// CompressedDomainSpeedup is kernels-off-ns/kernels-on-ns of
+	// BenchmarkCompressedDomain — the compressed-domain execution headline:
+	// the same filtered full characterization with the kernel registry
+	// serving the predicate from encoded segments vs the materialized row
+	// path. The bench also records the allocs/op of both arms; the
+	// compressed path must win both.
+	CompressedDomainSpeedup float64 `json:"compressed_domain_speedup_off_over_on,omitempty"`
 }
 
 func main() {
@@ -88,6 +95,7 @@ func main() {
 	}
 	var seqNs, parNs, v1Ns, v2ParNs, fullNs, prunedNs, projNs float64
 	var v21FlateNs, v22AutoNs, v21FlateBytes, v22AutoBytes float64
+	var kernelsOnNs, kernelsOffNs float64
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -142,6 +150,10 @@ func main() {
 		case strings.HasPrefix(r.Name, "BenchmarkCodecMatrix/v22-auto"):
 			v22AutoNs = ns
 			v22AutoBytes = r.Extra["enc-bytes"]
+		case strings.HasPrefix(r.Name, "BenchmarkCompressedDomain/kernels-on"):
+			kernelsOnNs = ns
+		case strings.HasPrefix(r.Name, "BenchmarkCompressedDomain/kernels-off"):
+			kernelsOffNs = ns
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -165,6 +177,9 @@ func main() {
 	}
 	if v21FlateBytes > 0 && v22AutoBytes > 0 {
 		rec.CodecSizeRatio = v22AutoBytes / v21FlateBytes
+	}
+	if kernelsOnNs > 0 && kernelsOffNs > 0 {
+		rec.CompressedDomainSpeedup = kernelsOffNs / kernelsOnNs
 	}
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -94,6 +94,36 @@ echo "$METRICS"
 HITS="$(printf '%s' "$METRICS" | sed -n 's/.*"cache_hits": *\([0-9]*\).*/\1/p')"
 [ "${HITS:-0}" -ge 1 ] || { echo "FAIL: no cache hit recorded"; exit 1; }
 
+echo "== re-querying with a different filter (shared block cache, zero re-decodes) =="
+# A different filter misses the result cache, so the trace characterizes
+# again — but every block must come decoded out of the shared block cache:
+# block_cache_hits rises and scan_decoded_bytes does not move.
+DECODED_BEFORE="$(printf '%s' "$METRICS" | sed -n 's/.*"scan_decoded_bytes": *\([0-9]*\).*/\1/p')"
+THIRD="$(curl -fsS --data-binary @"$WORK/trace.trc" \
+  "$BASE/v1/traces?window=$FILTER_WINDOW&ranks=0-7")"
+JOB3="$(printf '%s' "$THIRD" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[ -n "$JOB3" ] || { echo "no job id in third upload response"; exit 1; }
+STATUS=""
+for i in $(seq 1 200); do
+  JOB="$(curl -fsS "$BASE/v1/jobs/$JOB3")"
+  STATUS="$(printf '%s' "$JOB" | sed -n 's/.*"status": *"\([^"]*\)".*/\1/p')"
+  case "$STATUS" in
+    done) break ;;
+    failed) echo "job failed: $JOB"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$STATUS" = "done" ] || { echo "third job did not finish: $STATUS"; exit 1; }
+METRICS2="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS2"
+BLOCK_HITS="$(printf '%s' "$METRICS2" | sed -n 's/.*"block_cache_hits": *\([0-9]*\).*/\1/p')"
+DECODED_AFTER="$(printf '%s' "$METRICS2" | sed -n 's/.*"scan_decoded_bytes": *\([0-9]*\).*/\1/p')"
+[ "${BLOCK_HITS:-0}" -ge 1 ] || { echo "FAIL: no block cache hit recorded"; exit 1; }
+[ "${DECODED_AFTER:-0}" -eq "${DECODED_BEFORE:-1}" ] || {
+  echo "FAIL: repeated query re-decoded blocks ($DECODED_BEFORE -> $DECODED_AFTER)"; exit 1
+}
+echo "block cache served the repeated query without decoding"
+
 echo "== graceful shutdown =="
 kill -TERM "$VANID_PID"
 wait "$VANID_PID"

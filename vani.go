@@ -194,24 +194,9 @@ func CharacterizeFileContext(ctx context.Context, path string, opt AnalyzerOptio
 		if err != nil {
 			return nil, wrapReadErr(path, err)
 		}
-		t0 := time.Now()
-		stats := &colstore.ScanStats{}
-		spec := colstore.ScanSpec{Filter: opt.Filter}
-		tb, err := colstore.FromBlocksSpecContext(ctx, br, opt.Parallelism, spec, stats)
+		c, err := CharacterizeBlocksContext(ctx, br, opt)
 		if err != nil {
 			return nil, wrapReadErr(path, err)
-		}
-		if opt.Stats != nil {
-			opt.Stats.Columnarize = time.Since(t0)
-		}
-		c, err := core.AnalyzeTableContext(ctx, br.Header(), tb, opt)
-		if err != nil {
-			return nil, wrapReadErr(path, err)
-		}
-		// Snapshot after analysis: lazily materialized columns add their
-		// decoded bytes during the kernels' Require calls.
-		if opt.Stats != nil {
-			opt.Stats.Scan = stats.Snapshot()
 		}
 		return c, nil
 	}
@@ -259,6 +244,37 @@ func CharacterizeFileContext(ctx context.Context, path string, opt AnalyzerOptio
 	c, err := core.AnalyzeTableContext(ctx, sc.Header(), tb, opt)
 	if err != nil {
 		return nil, wrapReadErr(path, err)
+	}
+	return c, nil
+}
+
+// CharacterizeBlocksContext analyzes a VANITRC2 block source — a
+// BlockReader over an open file, or a shared decoded-block cache like
+// vanid's — through the planned-scan path: the filter pushes down to the
+// block index, predicates evaluate in the compressed domain where the
+// kernel registry serves them, and the analyzer passes run span-fused over
+// encoded segments, materializing only the columns no kernel can answer.
+// The characterization is byte-identical to CharacterizeFileContext over
+// the same log.
+func CharacterizeBlocksContext(ctx context.Context, src trace.BlockSource, opt AnalyzerOptions) (*Characterization, error) {
+	t0 := time.Now()
+	stats := &colstore.ScanStats{}
+	spec := colstore.ScanSpec{Filter: opt.Filter}
+	tb, err := colstore.FromBlocksSpecContext(ctx, src, opt.Parallelism, spec, stats)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Stats != nil {
+		opt.Stats.Columnarize = time.Since(t0)
+	}
+	c, err := core.AnalyzeTableContext(ctx, src.Header(), tb, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot after analysis: lazily materialized columns add their
+	// decoded bytes during the kernels' Require calls.
+	if opt.Stats != nil {
+		opt.Stats.Scan = stats.Snapshot()
 	}
 	return c, nil
 }
