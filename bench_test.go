@@ -825,6 +825,59 @@ func BenchmarkCompressedDomain(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupedAgg measures what grouped execution buys on the analyzer
+// hot path: the same v2.2-encoded cm1 trace, fully characterized with NO
+// filter (aggregation dominates, the shape the fleet-query workload takes),
+// with the grouped kernels engaged — code unifier, dense code-keyed
+// accumulators, key spans with per-row op dispatch — versus forced off
+// (the map-keyed fallback row loops). Both arms produce byte-identical
+// YAML (the codec-matrix equivalence suite pins the grouped-off arm); this
+// measures the throughput and allocation gap between the two paths.
+func BenchmarkGroupedAgg(b *testing.B) {
+	_, _ = allRuns(b)
+	res := runRes["cm1"]
+	var buf bytes.Buffer
+	if err := trace.WriteV2With(&buf, res.Trace, trace.V2Options{}); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	defer colstore.SetGroupedKernelsEnabled(true)
+	for _, bench := range []struct {
+		name    string
+		grouped bool
+	}{
+		{"grouped-on", true},
+		{"grouped-off", false},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			colstore.SetGroupedKernelsEnabled(bench.grouped)
+			opt := DefaultAnalyzerOptions()
+			var served, fallback int64
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br, err := trace.NewBlockReader(bytes.NewReader(enc), int64(len(enc)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var timings AnalyzerTimings
+				opt.Stats = &timings
+				c, err := CharacterizeBlocksContext(context.Background(), br, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c == nil {
+					b.Fatal("nil characterization")
+				}
+				served, fallback = timings.Scan.GroupServed, timings.Scan.GroupFallback
+			}
+			b.ReportMetric(float64(served), "groups-served")
+			b.ReportMetric(float64(fallback), "groups-fallback")
+		})
+	}
+}
+
 // BenchmarkAnalyzer measures full characterization of a mid-sized trace.
 func BenchmarkAnalyzer(b *testing.B) {
 	_, _ = allRuns(b)

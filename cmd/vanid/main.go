@@ -41,6 +41,7 @@ func main() {
 	par := flag.Int("parallelism", 0, "per-job analyzer parallelism (0 = GOMAXPROCS)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-block cache budget in bytes (0 = 256 MiB default, negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown before aborting them")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
@@ -50,6 +51,7 @@ func main() {
 		SpoolDir:     *spoolDir,
 		Parallelism:  *par,
 		CacheBytes:   *cacheBytes,
+		EnablePprof:  *pprofOn,
 	})
 	if err != nil {
 		log.Fatalf("vanid: %v", err)

@@ -200,27 +200,44 @@ func TestCodecMatrixEquivalence(t *testing.T) {
 		refOpt.Storage = &cfg
 		want := ToYAML(CharacterizeWith(res, refOpt))
 
+		// Three execution arms: everything on, grouped execution forced off
+		// (kernels still on), and all compressed-domain kernels off. The
+		// grouped-off arm pins the dense code-keyed aggregation against the
+		// map-keyed fallback byte-for-byte.
+		modes := []struct {
+			label            string
+			kernels, grouped bool
+		}{
+			{"on", true, true},
+			{"grouped-off", true, false},
+			{"kernels-off", false, true},
+		}
 		check := func(variant, path string) {
 			t.Helper()
-			for _, kernels := range []bool{true, false} {
-				colstore.SetKernelsEnabled(kernels)
+			for _, mode := range modes {
+				colstore.SetKernelsEnabled(mode.kernels)
+				colstore.SetGroupedKernelsEnabled(mode.grouped)
 				for _, par := range pars {
 					opt := DefaultAnalyzerOptions()
 					opt.Storage = &cfg
 					opt.Parallelism = par
 					c, err := CharacterizeFileWith(path, opt)
 					if err != nil {
-						t.Fatalf("%s %s par=%d kernels=%v: %v", name, variant, par, kernels, err)
+						t.Fatalf("%s %s par=%d mode=%s: %v", name, variant, par, mode.label, err)
 					}
 					if got := ToYAML(c); !bytes.Equal(want, got) {
-						t.Errorf("%s: %s characterization differs from in-memory (par=%d kernels=%v)",
-							name, variant, par, kernels)
+						t.Errorf("%s: %s characterization differs from in-memory (par=%d mode=%s)",
+							name, variant, par, mode.label)
 					}
 				}
 			}
 			colstore.SetKernelsEnabled(true)
+			colstore.SetGroupedKernelsEnabled(true)
 		}
-		defer colstore.SetKernelsEnabled(true)
+		defer func() {
+			colstore.SetKernelsEnabled(true)
+			colstore.SetGroupedKernelsEnabled(true)
+		}()
 
 		v1Path := filepath.Join(dir, name+"-v1.trc")
 		f, err := os.Create(v1Path)

@@ -1,0 +1,474 @@
+package colstore
+
+// Grouped execution on dictionary codes. The characterization is dominated
+// by grouped aggregation (per-file, per-app rollups), and the v2.2 dict
+// segments already store each key column as small integer codes over a
+// per-block dictionary. The pieces here keep that aggregation in the
+// compressed domain:
+//
+//   - CodeUnifier maps block-local dictionary codes to scan-global ids,
+//     built once per block from the dict segment headers (never from
+//     decoded rows when the segment has structure). Stored dict values are
+//     the trace's interned ids, so the global id IS the stored value; the
+//     unifier validates density against a caller cap, discovers the
+//     scan-global cardinality, and precomputes per-block code→id tables so
+//     grouped kernels index dense arrays with one array load per row.
+//   - GroupValueHist / GroupSumSize / GroupCountEq accumulate into dense
+//     per-chunk arrays sized by that cardinality instead of hash maps,
+//     streaming dict codes or run summaries without materializing the key
+//     column.
+//   - KeySpan is the op-dispatched span kernel: the five stable key columns
+//     (level, rank, node, app, file) hoist as runs while op — which
+//     alternates nearly every event in real traces and so kept the
+//     six-column span kernel from ever firing — stays per-row.
+//
+// All of it is gated by SetGroupedKernelsEnabled on top of the global
+// kernel switch; results are byte-identical either way (the codec-matrix
+// equivalence suite pins a grouped-kernels-forced-off arm).
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"vani/internal/parallel"
+	"vani/internal/trace"
+)
+
+// groupedOff gates the grouped-execution kernels (inverted so the zero
+// value means enabled), independently of the global kernel switch: the
+// benchmark matrix flips only this to isolate the grouped-aggregation win,
+// and the equivalence suite forces it off to prove the fallback identical.
+var groupedOff atomic.Bool
+
+// SetGroupedKernelsEnabled turns the grouped-execution kernels (key spans,
+// code unifier, dense grouped aggregation) on or off. Off, the analyzer
+// and the grouped kernels fall back to the map-keyed row paths — results
+// must be byte-identical either way.
+func SetGroupedKernelsEnabled(on bool) { groupedOff.Store(!on) }
+
+// GroupedKernelsEnabled reports whether grouped-execution kernels are on
+// (they also require the global kernel switch).
+func GroupedKernelsEnabled() bool { return !groupedOff.Load() && KernelsEnabled() }
+
+// keyRunCols are the run columns a key span holds constant: the four
+// groupable key columns plus level. Op is deliberately absent — it
+// alternates nearly every event in real traces, so requiring its run
+// summary is what kept the six-column span kernel from ever firing there.
+var keyRunCols = [...]int{int(ColRank), int(ColNode), int(ColApp), int(ColFile), runLevel}
+
+// KeySpan is a maximal run of chunk rows over which the five stable key
+// columns — level, rank, node, app, file — are constant. Op varies within
+// the span and is dispatched per row by the caller. Lo is inclusive, Hi
+// exclusive, both chunk-relative.
+type KeySpan struct {
+	Lo, Hi     int
+	Level      uint8
+	Rank, Node int32
+	App, File  int32
+}
+
+// keySpans merges the chunk's five stable-key run summaries into key
+// spans, appending to dst. It reports false (serving nothing) unless every
+// key column carries a registry-served run summary.
+func (c *Chunk) keySpans(dst []KeySpan) ([]KeySpan, bool) {
+	for _, ri := range keyRunCols {
+		if !c.runUsable(KKeySpan, ri) {
+			return dst, false
+		}
+	}
+	var idx, rem [len(keyRunCols)]int
+	for i, ri := range keyRunCols {
+		rem[i] = int(c.runs[ri][0].N)
+	}
+	row := 0
+	for row < c.N {
+		n := rem[0]
+		for i := 1; i < len(keyRunCols); i++ {
+			if rem[i] < n {
+				n = rem[i]
+			}
+		}
+		dst = append(dst, KeySpan{
+			Lo:    row,
+			Hi:    row + n,
+			Rank:  int32(c.runs[ColRank][idx[0]].Val),
+			Node:  int32(c.runs[ColNode][idx[1]].Val),
+			App:   int32(c.runs[ColApp][idx[2]].Val),
+			File:  int32(c.runs[ColFile][idx[3]].Val),
+			Level: uint8(c.runs[runLevel][idx[4]].Val),
+		})
+		row += n
+		for i, ri := range keyRunCols {
+			if rem[i] -= n; rem[i] == 0 {
+				if idx[i]++; idx[i] < len(c.runs[ri]) {
+					rem[i] = int(c.runs[ri][idx[i]].N)
+				} else if row < c.N {
+					return dst, false // summaries must tile the chunk exactly
+				}
+			}
+		}
+	}
+	return dst, true
+}
+
+// ChunkKeySpans is the analyzer's grouped span-scan kernel request for
+// chunk k: the chunk's stable-key spans appended to dst, or ok == false
+// when any key column lacks a served run summary (the caller iterates rows
+// instead). Either way the request is counted in the scan stats.
+func (t *Table) ChunkKeySpans(k int, dst []KeySpan) ([]KeySpan, bool) {
+	if !GroupedKernelsEnabled() {
+		t.tickKernel(KKeySpan, false)
+		return dst, false
+	}
+	dst, ok := t.chunks[k].keySpans(dst)
+	t.tickKernel(KKeySpan, ok)
+	return dst, ok
+}
+
+// wholeSegCursor returns a cursor over the chunk's encoded column segment
+// when the chunk still holds its whole-block payload (every block row
+// kept, nothing yet forced the payload away). Callers must Release it.
+func (c *Chunk) wholeSegCursor(colIdx int) *trace.SegCursor {
+	l := c.lazy
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.bd == nil || l.sel != nil {
+		return nil
+	}
+	cur, err := l.bd.SegCursorAt(colIdx)
+	if err != nil {
+		return nil // corrupt segment: surface the error at Require instead
+	}
+	return cur
+}
+
+// colReady reports whether the columns are already materialized, so a
+// scan over them costs no decode: eager chunks always are, lazy chunks
+// once Require has covered the set.
+func (c *Chunk) colReady(want trace.ColSet) bool {
+	l := c.lazy
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return want&^l.have == 0
+}
+
+// CodeUnifier maps block-local dictionary codes of one key column to
+// scan-global dense ids. Stored dict values are the trace's interned ids,
+// so the global id of a code is its stored value; what the unifier adds is
+// the scan-global cardinality (discovered from dict headers, run
+// summaries and constants without materializing the column), a density
+// guarantee against the caller's cap, and per-chunk code→id tables built
+// once per block so grouped kernels translate a streamed code with a
+// single array load.
+type CodeUnifier struct {
+	col    Col
+	card   int32     // ids are 0..card-1
+	hasNeg bool      // the column stores -1 somewhere (File's "no file")
+	codes  [][]int32 // per chunk: block-local dict code → global id; nil = no dict segment
+	served int       // chunks resolved from segment headers, not rows
+}
+
+// Card returns the scan-global cardinality: every column value is in
+// [-1, Card), and dense accumulators indexed by value+1 need Card()+1
+// slots.
+func (u *CodeUnifier) Card() int32 { return u.card }
+
+// HasNeg reports whether the column stores -1 anywhere (File's "no file"
+// marker); callers indexing by bare value must reject or offset it.
+func (u *CodeUnifier) HasNeg() bool { return u.hasNeg }
+
+// ChunkCodes returns chunk k's block-local code→global-id table, or nil
+// when that chunk's segment is not dict-coded.
+func (u *CodeUnifier) ChunkCodes(k int) []int32 {
+	if k < 0 || k >= len(u.codes) {
+		return nil
+	}
+	return u.codes[k]
+}
+
+// ServedChunks reports how many chunks resolved from segment headers
+// rather than materialized rows (observability for tests).
+func (u *CodeUnifier) ServedChunks() int { return u.served }
+
+// UnifyCodes builds the code unifier for a key column, one chunk at a
+// time in chunk order: dict segments contribute their dictionary values
+// (building the per-block code table), RLE segments their run values,
+// constant segments their single value — all from headers, without
+// materializing the column — and chunks whose column is already
+// materialized fall back to a scan. It returns (nil, nil) when any stored
+// value falls outside [-1, maxCard) or when a chunk would need a decode to
+// answer (filtered selection, structureless codec), meaning the column is
+// not cheaply unifiable and callers must stay on the map-keyed path.
+func (t *Table) UnifyCodes(col Col, maxCard int32) (*CodeUnifier, error) {
+	u := &CodeUnifier{col: col, codes: make([][]int32, len(t.chunks))}
+	colIdx := bits.TrailingZeros64(uint64(col.traceCol()))
+	maxVal := int64(-1)
+	note := func(v int64) bool {
+		if v < -1 || v >= int64(maxCard) {
+			return false
+		}
+		if v < 0 {
+			u.hasNeg = true
+		} else if v > maxVal {
+			maxVal = v
+		}
+		return true
+	}
+	for k, c := range t.chunks {
+		dense := true
+		served := false
+		if GroupedKernelsEnabled() {
+			if cur := c.wholeSegCursor(colIdx); cur != nil {
+				if nd := cur.NumCodes(); nd > 0 {
+					cm := make([]int32, nd)
+					served = true
+					for code := 0; code < nd; code++ {
+						v := cur.DictVal(uint32(code))
+						if !note(v) {
+							dense = false
+							break
+						}
+						cm[code] = int32(v)
+					}
+					if dense {
+						u.codes[k] = cm
+					}
+				} else if v, cok := cur.ConstVal(); cok {
+					served = true
+					dense = note(v)
+				} else if runs := cur.Runs(); len(runs) > 0 {
+					served = true
+					for _, r := range runs {
+						if !note(r.Val) {
+							dense = false
+							break
+						}
+					}
+				}
+				cur.Release()
+			}
+		}
+		if served {
+			u.served++
+		} else {
+			// Never force a decode to discover unifiability: a chunk whose
+			// segment can't serve from headers (filtered selection, raw
+			// codec) contributes a scan only when the column is already
+			// materialized. Forcing Require here would make the grouped
+			// path decode columns a filtered scan was about to skip —
+			// exactly the work grouped execution exists to avoid.
+			if !c.colReady(col.traceCol()) {
+				t.tickKernel(KGroupAgg, false)
+				return nil, nil
+			}
+			for _, v := range c.col(col) {
+				if !note(int64(v)) {
+					dense = false
+					break
+				}
+			}
+		}
+		t.tickKernel(KGroupAgg, served)
+		if !dense {
+			return nil, nil
+		}
+	}
+	u.card = int32(maxVal + 1)
+	return u, nil
+}
+
+// slot maps a column value (-1 allowed) to its dense accumulator index.
+func slot(v int32) int { return int(v) + 1 }
+
+// mergeDense adds per-chunk dense partials in chunk order.
+func mergeDense(parts [][]int64, slots int) []int64 {
+	out := make([]int64, slots)
+	for _, p := range parts {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// GroupValueHist builds the dense value→row-count histogram of a key
+// column: result[value+1] counts the rows storing value (index 0 collects
+// the -1 rows of File). Chunks with a dict segment stream codes through
+// the unifier's per-block table; chunks with run summaries contribute one
+// increment per run; only structureless chunks materialize the column.
+func (t *Table) GroupValueHist(par int, col Col, u *CodeUnifier) ([]int64, error) {
+	colIdx := bits.TrailingZeros64(uint64(col.traceCol()))
+	slots := int(u.card) + 1
+	parts := make([][]int64, len(t.chunks))
+	errs := make([]error, len(t.chunks))
+	parallel.ForEach(par, len(t.chunks), func(k int) {
+		c := t.chunks[k]
+		h := make([]int64, slots)
+		parts[k] = h
+		if GroupedKernelsEnabled() {
+			if cm := u.codes[k]; cm != nil {
+				if cur := c.wholeSegCursor(colIdx); cur != nil {
+					if cur.NumCodes() == len(cm) {
+						t.tickKernel(KGroupAgg, true)
+						cur.ForEachCode(func(code uint32) bool {
+							h[slot(cm[code])]++
+							return true
+						})
+						cur.Release()
+						return
+					}
+					cur.Release()
+				}
+			}
+			if c.runUsable(KGroupAgg, int(col)) {
+				t.tickKernel(KGroupAgg, true)
+				for _, r := range c.runs[col] {
+					h[slot(int32(r.Val))] += int64(r.N)
+				}
+				return
+			}
+		}
+		t.tickKernel(KGroupAgg, false)
+		if errs[k] = c.Require(col.traceCol()); errs[k] != nil {
+			return
+		}
+		for _, v := range c.col(col) {
+			h[slot(v)]++
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeDense(parts, slots), nil
+}
+
+// GroupSumSize sums the Size column per key value into a dense array
+// (result[value+1], as GroupValueHist). The key column itself is never
+// materialized on chunks with dict or run structure — codes stream with a
+// row counter into Size, runs add whole Size spans.
+func (t *Table) GroupSumSize(par int, col Col, u *CodeUnifier) ([]int64, error) {
+	colIdx := bits.TrailingZeros64(uint64(col.traceCol()))
+	slots := int(u.card) + 1
+	parts := make([][]int64, len(t.chunks))
+	errs := make([]error, len(t.chunks))
+	parallel.ForEach(par, len(t.chunks), func(k int) {
+		c := t.chunks[k]
+		h := make([]int64, slots)
+		parts[k] = h
+		if GroupedKernelsEnabled() {
+			if cm := u.codes[k]; cm != nil {
+				if cur := c.wholeSegCursor(colIdx); cur != nil {
+					if cur.NumCodes() == len(cm) {
+						if errs[k] = c.Require(trace.ColSize); errs[k] != nil {
+							cur.Release()
+							return
+						}
+						t.tickKernel(KGroupAgg, true)
+						row := 0
+						cur.ForEachCode(func(code uint32) bool {
+							h[slot(cm[code])] += c.Size[row]
+							row++
+							return true
+						})
+						cur.Release()
+						return
+					}
+					cur.Release()
+				}
+			}
+			if c.runUsable(KGroupAgg, int(col)) {
+				if errs[k] = c.Require(trace.ColSize); errs[k] != nil {
+					return
+				}
+				t.tickKernel(KGroupAgg, true)
+				row := 0
+				for _, r := range c.runs[col] {
+					s := slot(int32(r.Val))
+					for _, sz := range c.Size[row : row+int(r.N)] {
+						h[s] += sz
+					}
+					row += int(r.N)
+				}
+				return
+			}
+		}
+		t.tickKernel(KGroupAgg, false)
+		if errs[k] = c.Require(col.traceCol() | trace.ColSize); errs[k] != nil {
+			return
+		}
+		keys := c.col(col)
+		for j := 0; j < c.N; j++ {
+			h[slot(keys[j])] += c.Size[j]
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeDense(parts, slots), nil
+}
+
+// GroupCountEq counts, per key value of col (dense, result[value+1]), the
+// rows whose other key column equals val. Chunks carrying run summaries
+// for both columns intersect the two run lists — one comparison per
+// intersected segment — and never materialize either column.
+func (t *Table) GroupCountEq(par int, col Col, u *CodeUnifier, other Col, val int32) ([]int64, error) {
+	slots := int(u.card) + 1
+	parts := make([][]int64, len(t.chunks))
+	errs := make([]error, len(t.chunks))
+	parallel.ForEach(par, len(t.chunks), func(k int) {
+		c := t.chunks[k]
+		h := make([]int64, slots)
+		parts[k] = h
+		if GroupedKernelsEnabled() && c.runUsable(KGroupAgg, int(col)) && c.runUsable(KGroupAgg, int(other)) {
+			t.tickKernel(KGroupAgg, true)
+			a, b := c.runs[col], c.runs[other]
+			ai, bi := 0, 0
+			ar, br := int(a[0].N), int(b[0].N)
+			for row := 0; row < c.N; {
+				n := ar
+				if br < n {
+					n = br
+				}
+				if int32(b[bi].Val) == val {
+					h[slot(int32(a[ai].Val))] += int64(n)
+				}
+				row += n
+				if ar -= n; ar == 0 && ai+1 < len(a) {
+					ai++
+					ar = int(a[ai].N)
+				}
+				if br -= n; br == 0 && bi+1 < len(b) {
+					bi++
+					br = int(b[bi].N)
+				}
+			}
+			return
+		}
+		t.tickKernel(KGroupAgg, false)
+		if errs[k] = c.Require(col.traceCol() | other.traceCol()); errs[k] != nil {
+			return
+		}
+		keys, os := c.col(col), c.col(other)
+		for j := 0; j < c.N; j++ {
+			if os[j] == val {
+				h[slot(keys[j])]++
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeDense(parts, slots), nil
+}

@@ -1,0 +1,292 @@
+package colstore
+
+import (
+	"testing"
+	"time"
+
+	"vani/internal/trace"
+)
+
+// groupTrace builds a multi-block trace shaped like the real analyzer
+// workload: op alternates every event (so the six-column span kernel can
+// never fire) while the five key columns arrive in runs, and the per-block
+// file dictionaries differ — blocks 0 and 1 touch disjoint file sets,
+// block 2 overlaps block 1 — with a sprinkling of File == -1 rows.
+func groupTrace(nblocks int) *trace.Trace {
+	tr := trace.NewTracer()
+	apps := []int32{tr.AppID("sim"), tr.AppID("post")}
+	files := []int32{
+		tr.FileID("/a"), tr.FileID("/b"), // block 0
+		tr.FileID("/c"), tr.FileID("/d"), // block 1
+	}
+	blockFiles := [][]int32{
+		{files[0], files[1]},
+		{files[2], files[3]},
+		{files[1], files[2]}, // overlaps both earlier dictionaries
+	}
+	ops := []trace.Op{trace.OpWrite, trace.OpRead}
+	var clock time.Duration
+	n := nblocks * ChunkRows
+	for i := 0; i < n; i++ {
+		blk := i / ChunkRows
+		bf := blockFiles[blk%len(blockFiles)]
+		file := bf[i/601%len(bf)]
+		if i%97 == 0 {
+			file = -1 // no-file rows: the unifier must report HasNeg
+		}
+		clock += time.Nanosecond
+		rank := int32(i / 501 % 8)
+		tr.Record(trace.Event{
+			Level: trace.LevelPosix, Op: ops[i%len(ops)],
+			Rank: rank, Node: rank / 4,
+			App: apps[blk%len(apps)], File: file,
+			Offset: int64(i) * 256, Size: int64(i%7) * 1024,
+			Start: clock, End: clock + time.Nanosecond,
+		})
+	}
+	return tr.Finish()
+}
+
+// refGroupHist/refGroupSum/refGroupCountEq are the map-free references:
+// dense accumulations over the fully materialized table.
+func refGroupHist(tb *Table, col Col, slots int) []int64 {
+	h := make([]int64, slots)
+	for k := 0; k < tb.NumChunks(); k++ {
+		c := tb.ChunkAt(k)
+		for _, v := range c.col(col) {
+			h[slot(v)]++
+		}
+	}
+	return h
+}
+
+func refGroupSum(tb *Table, col Col, slots int) []int64 {
+	h := make([]int64, slots)
+	for k := 0; k < tb.NumChunks(); k++ {
+		c := tb.ChunkAt(k)
+		keys := c.col(col)
+		for j := 0; j < c.N; j++ {
+			h[slot(keys[j])] += c.Size[j]
+		}
+	}
+	return h
+}
+
+func refGroupCountEq(tb *Table, col Col, slots int, other Col, val int32) []int64 {
+	h := make([]int64, slots)
+	for k := 0; k < tb.NumChunks(); k++ {
+		c := tb.ChunkAt(k)
+		keys, os := c.col(col), c.col(other)
+		for j := 0; j < c.N; j++ {
+			if os[j] == val {
+				h[slot(keys[j])]++
+			}
+		}
+	}
+	return h
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCodeUnifierAcrossBlockDictionaries: the unifier resolves cardinality
+// and per-block code tables from segment headers alone, across blocks with
+// disjoint and overlapping dictionaries, and the grouped kernels built on
+// it match dense accumulation over materialized columns — with grouped
+// kernels forced off as well (the fallback arms).
+func TestCodeUnifierAcrossBlockDictionaries(t *testing.T) {
+	defer SetGroupedKernelsEnabled(true)
+	tr := groupTrace(3)
+	codecs := map[string]trace.CodecMode{
+		"auto": trace.CodecAuto,
+		"dict": trace.CodecForceDict,
+		"rle":  trace.CodecForceRLE,
+	}
+	for cname, codec := range codecs {
+		br := blockReaderFor(t, tr, trace.V2Options{Codec: codec})
+		for _, grouped := range []bool{true, false} {
+			SetGroupedKernelsEnabled(grouped)
+			tb, err := FromBlocksSpec(br, 2, ScanSpec{}, nil)
+			if err != nil {
+				t.Fatalf("%s scan: %v", cname, err)
+			}
+			if !grouped {
+				// With the kernels off the segment headers are out of
+				// reach, and the unifier must refuse rather than decode
+				// columns on the caller's behalf.
+				if u, err := tb.UnifyCodes(ColFile, 1<<17); err != nil || u != nil {
+					t.Fatalf("%s grouped-off: UnifyCodes on unmaterialized chunks = (%v, %v), want (nil, nil)", cname, u, err)
+				}
+				if err := tb.Materialize(2, trace.AllCols); err != nil {
+					t.Fatal(err)
+				}
+			}
+			u, err := tb.UnifyCodes(ColFile, 1<<17)
+			if err != nil {
+				t.Fatalf("%s UnifyCodes: %v", cname, err)
+			}
+			if u == nil {
+				t.Fatalf("%s: file column not densely unifiable", cname)
+			}
+			if !u.HasNeg() {
+				t.Errorf("%s: HasNeg = false, want true (File stores -1)", cname)
+			}
+			if u.Card() != 4 {
+				t.Errorf("%s: Card = %d, want 4", cname, u.Card())
+			}
+			if grouped && u.ServedChunks() != tb.NumChunks() {
+				t.Errorf("%s grouped: unifier served %d/%d chunks from headers",
+					cname, u.ServedChunks(), tb.NumChunks())
+			}
+			if !grouped && u.ServedChunks() != 0 {
+				t.Errorf("%s grouped-off: unifier served %d chunks, want 0",
+					cname, u.ServedChunks())
+			}
+			slots := int(u.Card()) + 1
+			hist, err := tb.GroupValueHist(2, ColFile, u)
+			if err != nil {
+				t.Fatalf("%s GroupValueHist: %v", cname, err)
+			}
+			sums, err := tb.GroupSumSize(2, ColFile, u)
+			if err != nil {
+				t.Fatalf("%s GroupSumSize: %v", cname, err)
+			}
+			cnts, err := tb.GroupCountEq(2, ColFile, u, ColRank, 3)
+			if err != nil {
+				t.Fatalf("%s GroupCountEq: %v", cname, err)
+			}
+			// The reference materializes everything after the kernels ran.
+			if err := tb.Materialize(2, trace.AllCols); err != nil {
+				t.Fatal(err)
+			}
+			if want := refGroupHist(tb, ColFile, slots); !int64sEqual(hist, want) {
+				t.Errorf("%s grouped=%v: GroupValueHist = %v, want %v", cname, grouped, hist, want)
+			}
+			if want := refGroupSum(tb, ColFile, slots); !int64sEqual(sums, want) {
+				t.Errorf("%s grouped=%v: GroupSumSize = %v, want %v", cname, grouped, sums, want)
+			}
+			if want := refGroupCountEq(tb, ColFile, slots, ColRank, 3); !int64sEqual(cnts, want) {
+				t.Errorf("%s grouped=%v: GroupCountEq = %v, want %v", cname, grouped, cnts, want)
+			}
+		}
+		SetGroupedKernelsEnabled(true)
+	}
+}
+
+// TestUnifyCodesRejectsOverCap: values at or above the cap send callers to
+// the map-keyed path via a nil unifier, not an error and not a panic.
+func TestUnifyCodesRejectsOverCap(t *testing.T) {
+	tr := groupTrace(2) // block 1 reaches file ids 2 and 3
+	br := blockReaderFor(t, tr, trace.V2Options{Codec: trace.CodecAuto})
+	tb, err := FromBlocksSpec(br, 1, ScanSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := tb.UnifyCodes(ColFile, 2) // file ids reach 3
+	if err != nil {
+		t.Fatalf("UnifyCodes: %v", err)
+	}
+	if u != nil {
+		t.Fatal("UnifyCodes accepted a column whose values exceed the cap")
+	}
+}
+
+// TestKeySpansFireWhereSpansDont: with op alternating every event the
+// six-column span kernel serves nothing, while key spans — op excluded —
+// tile every chunk and carry the same keys the materialized columns hold.
+func TestKeySpansFireWhereSpansDont(t *testing.T) {
+	tr := groupTrace(2)
+	br := blockReaderFor(t, tr, trace.V2Options{Codec: trace.CodecAuto})
+	var stats ScanStats
+	tb, err := FromBlocksSpec(br, 1, ScanSpec{}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < tb.NumChunks(); k++ {
+		if _, ok := tb.ChunkSpans(k, nil); ok {
+			t.Fatalf("chunk %d: six-column spans served despite per-row op alternation", k)
+		}
+		spans, ok := tb.ChunkKeySpans(k, nil)
+		if !ok {
+			t.Fatalf("chunk %d: key spans not served", k)
+		}
+		c := tb.ChunkAt(k)
+		if err := c.Require(trace.AllCols); err != nil {
+			t.Fatal(err)
+		}
+		row := 0
+		for _, s := range spans {
+			if s.Lo != row {
+				t.Fatalf("chunk %d: span starts at %d, want %d (spans must tile)", k, s.Lo, row)
+			}
+			for j := s.Lo; j < s.Hi; j++ {
+				if c.Level[j] != s.Level || c.Rank[j] != s.Rank || c.Node[j] != s.Node ||
+					c.App[j] != s.App || c.File[j] != s.File {
+					t.Fatalf("chunk %d row %d: key span keys differ from columns", k, j)
+				}
+			}
+			row = s.Hi
+		}
+		if row != c.N {
+			t.Fatalf("chunk %d: spans cover %d rows of %d", k, row, c.N)
+		}
+	}
+	if served := stats.KernelServed[KKeySpan].Load(); served == 0 {
+		t.Error("KKeySpan served counter did not move")
+	}
+	if fb := stats.KernelFallback[KSpanScan].Load(); fb == 0 {
+		t.Error("KSpanScan fallback counter did not move")
+	}
+}
+
+// TestRunIntersectionSelection: multi-dimension filters over level/op/rank
+// select rows straight from intersected run summaries — row-identical to
+// the kernels-off scan, with the run-intersection counters ticking, and
+// whole-pass multi-dimension filters keeping whole blocks without a
+// selection vector.
+func TestRunIntersectionSelection(t *testing.T) {
+	defer SetKernelsEnabled(true)
+	tr := mixedTrace(2*ChunkRows + 901)
+	filters := map[string]trace.Filter{
+		"ranks-ops":        {Ranks: []int32{1, 3, 5, 7}, Ops: trace.OpClassData},
+		"levels-ops":       {Levels: []trace.Level{trace.LevelPosix}, Ops: trace.OpClassMeta},
+		"ranks-levels-ops": {Ranks: []int32{0, 2, 4}, Levels: []trace.Level{trace.LevelPosix, trace.LevelApp}, Ops: trace.OpClassIO},
+		"whole-pass": {
+			Ranks:  []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+			Levels: []trace.Level{trace.LevelPosix, trace.LevelMiddleware, trace.LevelApp},
+		},
+	}
+	for _, codec := range []trace.CodecMode{trace.CodecAuto, trace.CodecForceRLE, trace.CodecForceDict} {
+		br := blockReaderFor(t, tr, trace.V2Options{Codec: codec})
+		for fname, f := range filters {
+			SetKernelsEnabled(false)
+			want, err := FromBlocksSpec(br, 2, ScanSpec{Cols: trace.AllCols, Filter: f}, nil)
+			if err != nil {
+				t.Fatalf("%s kernels=off: %v", fname, err)
+			}
+			SetKernelsEnabled(true)
+			var stats ScanStats
+			got, err := FromBlocksSpec(br, 2, ScanSpec{Cols: trace.AllCols, Filter: f}, &stats)
+			if err != nil {
+				t.Fatalf("%s kernels=on: %v", fname, err)
+			}
+			assertTablesEqual(t, want, got)
+			if served := stats.RunIsectServed.Load(); served == 0 {
+				t.Errorf("codec %v %s: run-intersection served no blocks", codec, fname)
+			}
+			if fname == "whole-pass" && stats.RowsKept.Load() != stats.RowsTotal.Load() {
+				t.Errorf("%s: kept %d of %d rows, want all", fname,
+					stats.RowsKept.Load(), stats.RowsTotal.Load())
+			}
+		}
+	}
+}

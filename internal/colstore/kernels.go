@@ -51,12 +51,21 @@ const (
 	// KSpanScan fuses the six run-summarized columns into constant-key spans
 	// so analyzer passes hoist per-row map lookups out to span boundaries.
 	KSpanScan
+	// KKeySpan fuses the five STABLE key columns (level, rank, node, app,
+	// file) into spans, dispatching per-row on op only — the grouped span
+	// kernel that fires on real traces where op alternates every event.
+	KKeySpan
+	// KGroupAgg is grouped aggregation on dictionary codes: the code
+	// unifier built from dict segment headers plus the dense grouped
+	// kernels (GroupValueHist, GroupSumSize, GroupCountEq).
+	KGroupAgg
 	// NumKernelOps bounds the per-kernel counter arrays.
 	NumKernelOps
 )
 
 var kernelOpNames = [NumKernelOps]string{
 	"predicate", "counteq", "sumeq", "hist", "groupby", "minmax", "spanscan",
+	"keyspan", "groupagg",
 }
 
 // String returns the kernel operation's short name.
@@ -92,6 +101,8 @@ func init() {
 		registerKernel(KHist, codec)
 		registerKernel(KGroupBy, codec)
 		registerKernel(KSpanScan, codec)
+		registerKernel(KKeySpan, codec)
+		registerKernel(KGroupAgg, codec)
 	}
 	// FOR headers answer range queries without unpacking.
 	registerKernel(KMinMax, trace.SegCodecFOR)
@@ -391,6 +402,164 @@ func compressedSel(m *trace.Matcher, bd *trace.BlockData) (sel []int32, syn synt
 	return nil, syn, false, false
 }
 
+// passRun is one maximal segment of block rows sharing a predicate
+// outcome for a single dimension — a dimension's run summary with the
+// values already evaluated away, coalesced on the outcome so the
+// intersection below walks as few segments as possible.
+type passRun struct {
+	n    int32
+	pass bool
+}
+
+// appendPassRuns evaluates one dimension's predicate over its encoded
+// segment and appends outcome runs covering all n block rows: one run for
+// a constant segment, predicate-per-run for RLE, predicate-per-code plus a
+// code stream for dict. ok == false means the segment has no usable
+// structure (or a stored value would fail decode validation) and the
+// multi-dimension fast path cannot serve this block.
+func appendPassRuns(m *trace.Matcher, d *predDim, cur *trace.SegCursor, n int, dst []passRun) ([]passRun, bool) {
+	put := func(pass bool, cnt int32) []passRun {
+		if len(dst) > 0 && dst[len(dst)-1].pass == pass {
+			dst[len(dst)-1].n += cnt
+			return dst
+		}
+		return append(dst, passRun{cnt, pass})
+	}
+	if v, cok := cur.ConstVal(); cok {
+		pass, valid := d.accept(m, v)
+		if !valid {
+			return dst, false
+		}
+		return put(pass, int32(n)), true
+	}
+	if !kernelCaps[KPredicate][cur.Codec()] {
+		return dst, false
+	}
+	if nd := cur.NumCodes(); nd > 0 {
+		acceptCode := make([]bool, nd)
+		for code := 0; code < nd; code++ {
+			pass, valid := d.accept(m, cur.DictVal(uint32(code)))
+			if !valid {
+				return dst, false
+			}
+			acceptCode[code] = pass
+		}
+		cur.ForEachCode(func(code uint32) bool {
+			dst = put(acceptCode[code], 1)
+			return true
+		})
+		return dst, true
+	}
+	row := 0
+	for _, r := range cur.Runs() {
+		pass, valid := d.accept(m, r.Val)
+		if !valid {
+			return dst, false
+		}
+		dst = put(pass, r.N)
+		row += int(r.N)
+	}
+	return dst, row == n
+}
+
+// compressedSelMulti is the multi-dimension direct-selection path: when a
+// filter constrains two or more of level/op/rank (and nothing else — a
+// Start bound needs rows), each dimension's run summary evaluates into
+// outcome runs and the runs intersect in lockstep, emitting the selection
+// vector directly at exact final size — no keep bitmap, no residual row
+// pass. A first intersection walk counts (and short-circuits whole-pass
+// and whole-drop blocks without allocating), a second fills. eligible
+// reports whether the filter shape qualifies at all (for the run-isect
+// counters); ok whether every dimension was run-representable.
+func compressedSelMulti(m *trace.Matcher, bd *trace.BlockData) (sel []int32, all, ok, eligible bool) {
+	need := m.NeedCols()
+	const dims3 = trace.ColLevel | trace.ColOp | trace.ColRank
+	if !KernelsEnabled() || need&^dims3 != 0 || bits.OnesCount64(uint64(need)) < 2 {
+		return nil, false, false, false
+	}
+	n := bd.Count()
+	var lists [3][]passRun
+	nd := 0
+	for i := range predDims {
+		d := &predDims[i]
+		if need&d.set == 0 {
+			continue
+		}
+		cur, err := bd.SegCursorAt(bits.TrailingZeros64(uint64(d.set)))
+		if err != nil || cur == nil {
+			return nil, false, false, true
+		}
+		pr, prOK := appendPassRuns(m, d, cur, n, nil)
+		cur.Release()
+		if !prOK {
+			return nil, false, false, true
+		}
+		lists[nd] = pr
+		nd++
+	}
+	// Pass one: count matches by intersecting outcome runs in lockstep.
+	var idx, rem [3]int
+	for i := 0; i < nd; i++ {
+		rem[i] = int(lists[i][0].n)
+	}
+	cnt := 0
+	for row := 0; row < n; {
+		seg := rem[0]
+		pass := lists[0][idx[0]].pass
+		for i := 1; i < nd; i++ {
+			if rem[i] < seg {
+				seg = rem[i]
+			}
+			pass = pass && lists[i][idx[i]].pass
+		}
+		if pass {
+			cnt += seg
+		}
+		row += seg
+		for i := 0; i < nd; i++ {
+			if rem[i] -= seg; rem[i] == 0 && idx[i]+1 < len(lists[i]) {
+				idx[i]++
+				rem[i] = int(lists[i][idx[i]].n)
+			}
+		}
+	}
+	switch cnt {
+	case n:
+		return nil, true, true, true
+	case 0:
+		return emptySel, false, true, true
+	}
+	// Pass two: fill the selection at exact size.
+	sel = make([]int32, 0, cnt)
+	idx, rem = [3]int{}, [3]int{}
+	for i := 0; i < nd; i++ {
+		rem[i] = int(lists[i][0].n)
+	}
+	for row := 0; row < n; {
+		seg := rem[0]
+		pass := lists[0][idx[0]].pass
+		for i := 1; i < nd; i++ {
+			if rem[i] < seg {
+				seg = rem[i]
+			}
+			pass = pass && lists[i][idx[i]].pass
+		}
+		if pass {
+			for j := row; j < row+seg; j++ {
+				sel = append(sel, int32(j))
+			}
+		}
+		row += seg
+		for i := 0; i < nd; i++ {
+			if rem[i] -= seg; rem[i] == 0 && idx[i]+1 < len(lists[i]) {
+				idx[i]++
+				rem[i] = int(lists[i][idx[i]].n)
+			}
+		}
+	}
+	return sel, false, true, true
+}
+
 // compressedKeep evaluates the matcher's per-dimension predicates in the
 // compressed domain: for each constrained dimension whose segment the
 // registry serves, a keep bitmap is narrowed — dict segments translate the
@@ -506,13 +675,17 @@ func compressedKeep(m *trace.Matcher, bd *trace.BlockData) (kb *keepBuf, residua
 	return kb, residual, served
 }
 
+// predDim is one filter dimension the compressed predicate paths can
+// evaluate against encoded segments.
+type predDim struct {
+	set    trace.ColSet
+	accept func(m *trace.Matcher, v int64) (pass, valid bool)
+}
+
 // predDims are the filter dimensions compressedKeep can evaluate against
 // encoded segments, hoisted to package level so evaluation allocates no
 // closures. Start never appears: its segment is a delta chain.
-var predDims = [...]struct {
-	set    trace.ColSet
-	accept func(m *trace.Matcher, v int64) (pass, valid bool)
-}{
+var predDims = [...]predDim{
 	{trace.ColLevel, func(m *trace.Matcher, v int64) (bool, bool) { return m.AcceptLevel(uint8(v)), true }},
 	{trace.ColOp, func(m *trace.Matcher, v int64) (bool, bool) { return m.AcceptOp(uint8(v)), true }},
 	{trace.ColRank, func(m *trace.Matcher, v int64) (bool, bool) {

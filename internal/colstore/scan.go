@@ -56,6 +56,13 @@ type ScanStats struct {
 	// the two execution paths.
 	KernelServed   [NumKernelOps]atomic.Int64
 	KernelFallback [NumKernelOps]atomic.Int64
+
+	// RunIsectServed and RunIsectFallback count blocks where a
+	// multi-dimension filter was eligible for run-intersection selection
+	// (every constrained dimension is level/op/rank) and the intersection
+	// served vs fell back because some dimension lacked run structure.
+	RunIsectServed   atomic.Int64
+	RunIsectFallback atomic.Int64
 }
 
 // tickKernel records one kernel request as served or fallback. Nil-safe.
@@ -92,6 +99,16 @@ type ScanCounters struct {
 	KernelFallback  [NumKernelOps]int64
 	KernelsServed   int64
 	KernelsFallback int64
+
+	// Grouped-execution split: requests the key-span and group-aggregation
+	// kernels answered from encoded segments vs the map-keyed fallback.
+	GroupServed   int64
+	GroupFallback int64
+
+	// Multi-dimension run-intersection selection: blocks served vs eligible
+	// blocks that fell back to the keep-bitmap path.
+	RunIsectServed   int64
+	RunIsectFallback int64
 }
 
 // Snapshot reads every counter.
@@ -114,6 +131,10 @@ func (s *ScanStats) Snapshot() ScanCounters {
 		c.KernelsServed += c.KernelServed[op]
 		c.KernelsFallback += c.KernelFallback[op]
 	}
+	c.GroupServed = c.KernelServed[KKeySpan] + c.KernelServed[KGroupAgg]
+	c.GroupFallback = c.KernelFallback[KKeySpan] + c.KernelFallback[KGroupAgg]
+	c.RunIsectServed = s.RunIsectServed.Load()
+	c.RunIsectFallback = s.RunIsectFallback.Load()
 	return c
 }
 
@@ -369,11 +390,28 @@ func FromBlocksSpecContext(ctx context.Context, src trace.BlockSource, par int, 
 		// and leave the residual set. Either way the decode shrinks to
 		// residual columns only.
 		sel, syn, selAll, direct := compressedSel(m, bd)
+		if !direct {
+			// Multi-dimension filters intersect run summaries across columns
+			// and emit the selection directly, skipping the keep bitmap.
+			if msel, mall, mok, eligible := compressedSelMulti(m, bd); eligible {
+				if mok {
+					sel, selAll, direct = msel, mall, true
+					stats.RunIsectServed.Add(1)
+				} else {
+					stats.RunIsectFallback.Add(1)
+				}
+			}
+		}
 		var kb *keepBuf
 		var residual trace.ColSet
 		served := direct
 		if !direct {
 			kb, residual, served = compressedKeep(m, bd)
+			if served && kb == nil && residual == 0 {
+				// Every constrained dimension passed whole-block: keep the
+				// block outright instead of filling a full selection vector.
+				selAll, direct = true, true
+			}
 		}
 		stats.tickKernel(KPredicate, served)
 		want := fcols | spec.Cols

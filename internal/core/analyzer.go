@@ -323,6 +323,14 @@ type pass2 struct {
 // column set and Requires it per chunk, so a lazily planned table decodes
 // exactly the columns the pass touches.
 func (a *analysis) fusedScan() error {
+	// Grouped execution first: when the key columns unify to dense codes,
+	// the whole scan runs on flat arrays and key spans (analyzer_grouped.go)
+	// with byte-identical results; otherwise this map-keyed path runs.
+	if colstore.GroupedKernelsEnabled() {
+		if done, err := a.fusedScanGrouped(); err != nil || done {
+			return err
+		}
+	}
 	nchunks := a.tb.NumChunks()
 	errs := make([]error, nchunks)
 

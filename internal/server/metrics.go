@@ -42,6 +42,17 @@ type Metrics struct {
 	ScanKernelsServed   atomic.Int64
 	ScanKernelsFallback atomic.Int64
 
+	// Grouped-execution kernels (key spans + code-unified group
+	// aggregation) served vs fallen back, summed over jobs.
+	ScanGroupKernelsServed   atomic.Int64
+	ScanGroupKernelsFallback atomic.Int64
+
+	// Multi-dimension run-intersection selection: blocks served directly
+	// from intersected run summaries vs eligible blocks that fell back to
+	// the keep-bitmap path.
+	ScanRunIsectServed   atomic.Int64
+	ScanRunIsectFallback atomic.Int64
+
 	// Shared decoded-block cache: block handles served without a read or
 	// decode, blocks read and decoded into the cache, and the cache's
 	// current worst-case byte charge (a gauge).
@@ -64,6 +75,10 @@ func (m *Metrics) AddScan(sc colstore.ScanCounters) {
 	m.ScanSegFOR.Add(sc.SegFOR)
 	m.ScanKernelsServed.Add(sc.KernelsServed)
 	m.ScanKernelsFallback.Add(sc.KernelsFallback)
+	m.ScanGroupKernelsServed.Add(sc.GroupServed)
+	m.ScanGroupKernelsFallback.Add(sc.GroupFallback)
+	m.ScanRunIsectServed.Add(sc.RunIsectServed)
+	m.ScanRunIsectFallback.Add(sc.RunIsectFallback)
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics.
@@ -90,6 +105,12 @@ type MetricsSnapshot struct {
 
 	ScanKernelsServed   int64 `json:"scan_kernels_served"`
 	ScanKernelsFallback int64 `json:"scan_kernels_fallback"`
+
+	ScanGroupKernelsServed   int64 `json:"scan_group_kernels_served"`
+	ScanGroupKernelsFallback int64 `json:"scan_group_kernels_fallback"`
+
+	ScanRunIsectServed   int64 `json:"scan_runisect_served"`
+	ScanRunIsectFallback int64 `json:"scan_runisect_fallback"`
 
 	BlockCacheHits   int64 `json:"block_cache_hits"`
 	BlockCacheMisses int64 `json:"block_cache_misses"`
@@ -121,6 +142,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 
 		ScanKernelsServed:   m.ScanKernelsServed.Load(),
 		ScanKernelsFallback: m.ScanKernelsFallback.Load(),
+
+		ScanGroupKernelsServed:   m.ScanGroupKernelsServed.Load(),
+		ScanGroupKernelsFallback: m.ScanGroupKernelsFallback.Load(),
+
+		ScanRunIsectServed:   m.ScanRunIsectServed.Load(),
+		ScanRunIsectFallback: m.ScanRunIsectFallback.Load(),
 
 		BlockCacheHits:   m.BlockCacheHits.Load(),
 		BlockCacheMisses: m.BlockCacheMisses.Load(),

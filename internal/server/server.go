@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -52,6 +53,10 @@ type Config struct {
 	Storage *vani.StorageConfig
 	// Parallelism is the per-job analyzer parallelism (0 = GOMAXPROCS).
 	Parallelism int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ so aggregation
+	// hot spots are profileable in the running service. Off by default: the
+	// endpoints expose internals and cost CPU, so they are opt-in.
+	EnablePprof bool
 }
 
 func (c *Config) fill() error {
@@ -132,6 +137,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/reports/{id}", s.handleReport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// net/http/pprof registers on DefaultServeMux at import; serve the
+		// same handlers from this mux only when the operator opted in.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()

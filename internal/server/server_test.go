@@ -542,3 +542,32 @@ func TestCacheLRU(t *testing.T) {
 		}
 	}
 }
+
+// TestPprofGating proves the profiling endpoints exist only when the
+// operator opted in: absent (404) on a default server, served under
+// /debug/pprof/ when EnablePprof is set.
+func TestPprofGating(t *testing.T) {
+	off := newTestServer(t, Config{Workers: 1})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	resp, err := http.Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/ (disabled): %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: got %d, want 404", resp.StatusCode)
+	}
+
+	on := newTestServer(t, Config{Workers: 1, EnablePprof: true})
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	resp, err = http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/ (enabled): %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled: got %d, want 200", resp.StatusCode)
+	}
+}

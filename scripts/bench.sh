@@ -8,15 +8,21 @@
 # the row-major-vs-columnar ablation, the VANITRC1-vs-VANITRC2 codec
 # throughput benches, the scan-planner pushdown benches, the per-codec
 # matrix (encoded size and full-column-scan decode MB/s for v2.1, v2.1+flate
-# and every v2.2 segment codec), and the compressed-domain execution bench
-# (filtered full characterization, kernels on vs off), with -benchmem so
-# bytes/op and allocs/op land in the record. BENCH_PR1.json was captured at GOMAXPROCS=1, which hid
+# and every v2.2 segment codec), the compressed-domain execution bench
+# (filtered full characterization, kernels on vs off), and the grouped
+# execution bench (unfiltered full characterization, grouped aggregation on
+# vs off), with -benchmem so bytes/op and allocs/op land in the record.
+# BENCH_PR1.json was captured at GOMAXPROCS=1, which hid
 # every parallel speedup; this harness records GOMAXPROCS and refuses to
 # publish a single-core record from a multi-core machine unless explicitly
 # allowed with BENCH_ALLOW_SINGLE_CORE=1.
+#
+# After writing the record, the compressed-domain MB/s figures are compared
+# against the committed BENCH_PR6.json baseline; a loss of more than 15% on
+# either arm fails the run. Set BENCH_SKIP_REGRESSION=1 to record anyway.
 set -eu
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 cd "$(dirname "$0")/.."
 
 ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
@@ -34,18 +40,18 @@ go test -run '^$' \
     -bench 'BenchmarkAnalyzerParallelism|BenchmarkColumnarize|BenchmarkAblation_ColumnarAnalysis|BenchmarkTraceCodec|BenchmarkTraceEncode|BenchmarkTraceDecodeToTable|BenchmarkScanPlanner|BenchmarkCodecMatrix' \
     -benchmem -benchtime 10x -timeout 30m . | tee "$tmp"
 
-# The compressed-domain comparison needs more iterations than the suite
-# default (its headline is an allocs/op delta between two paths, and short
-# runs fold one-time pool warmup into the count) and several counts per
-# arm: the arms run back to back, so a single sample is at the mercy of
-# whatever else the machine schedules during one arm. Publish the fastest
-# sample of each arm — the allocation counts are deterministic and
-# identical across samples.
+# The compressed-domain and grouped-execution comparisons need more
+# iterations than the suite default (their headlines are allocs/op deltas
+# between two paths, and short runs fold one-time pool warmup into the
+# count) and several counts per arm: the arms run back to back, so a single
+# sample is at the mercy of whatever else the machine schedules during one
+# arm. Publish the fastest sample of each arm — the allocation counts are
+# deterministic and identical across samples.
 go test -run '^$' \
-    -bench 'BenchmarkCompressedDomain' \
+    -bench 'BenchmarkCompressedDomain|BenchmarkGroupedAgg' \
     -benchmem -benchtime 100x -count 3 -timeout 30m . \
   | tee "$tmp.cd"
-awk '/^BenchmarkCompressedDomain/ {
+awk '/^BenchmarkCompressedDomain|^BenchmarkGroupedAgg/ {
        if (!($1 in best) || $3+0 < best[$1]) { best[$1]=$3+0; line[$1]=$0 }
      }
      END { for (k in line) print line[k] }' "$tmp.cd" >> "$tmp"
@@ -53,3 +59,8 @@ rm -f "$tmp.cd"
 
 go run ./scripts/benchjson "$tmp" > "$out"
 echo "wrote $out"
+
+if [ "${BENCH_SKIP_REGRESSION:-0}" != "1" ] && [ -f BENCH_PR6.json ] && [ "$out" != "BENCH_PR6.json" ]; then
+    echo "== regression guard: BenchmarkCompressedDomain vs BENCH_PR6.json =="
+    go run ./scripts/benchcmp BENCH_PR6.json "$out"
+fi

@@ -1,0 +1,109 @@
+// Command benchcmp guards against codec-throughput regressions: it compares
+// the BenchmarkCompressedDomain MB/s figures of a freshly captured bench
+// record (scripts/benchjson output) against a committed baseline and exits
+// nonzero when any arm lost more than the allowed fraction.
+//
+// Usage: benchcmp [-max-regress 0.15] baseline.json new.json
+//
+// Sub-benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix so records captured at different core counts still line up; a
+// core-count mismatch is reported as a warning because absolute MB/s is only
+// comparable like for like. Arms present in the baseline but missing from
+// the new record are an error — a silently dropped bench is not a pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+type result struct {
+	Name     string  `json:"name"`
+	MBPerSec float64 `json:"mb_per_s"`
+}
+
+type record struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []result `json:"results"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func load(path, prefix string) (record, map[string]float64, error) {
+	var rec record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, nil, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	mbs := make(map[string]float64)
+	for _, r := range rec.Results {
+		name := procSuffix.ReplaceAllString(r.Name, "")
+		if strings.HasPrefix(name, prefix) && r.MBPerSec > 0 {
+			mbs[name] = r.MBPerSec
+		}
+	}
+	return rec, mbs, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.15,
+		"maximum allowed fractional MB/s loss per arm before failing")
+	prefix := flag.String("prefix", "BenchmarkCompressedDomain",
+		"benchmark name prefix to compare")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-regress 0.15] baseline.json new.json")
+		os.Exit(2)
+	}
+
+	baseRec, base, err := load(flag.Arg(0), *prefix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newRec, cur, err := load(flag.Arg(1), *prefix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: baseline %s has no %s results with MB/s\n",
+			flag.Arg(0), *prefix)
+		os.Exit(1)
+	}
+	if baseRec.GOMAXPROCS != newRec.GOMAXPROCS {
+		fmt.Fprintf(os.Stderr,
+			"benchcmp: warning: gomaxprocs differs (baseline %d, new %d); MB/s deltas include the core-count change\n",
+			baseRec.GOMAXPROCS, newRec.GOMAXPROCS)
+	}
+
+	failed := false
+	for name, want := range base {
+		got, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: present in baseline, missing from new record\n", name)
+			failed = true
+			continue
+		}
+		delta := (got - want) / want
+		status := "ok"
+		if delta < -*maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchcmp: %-4s %s: %.2f -> %.2f MB/s (%+.1f%%)\n",
+			status, name, want, got, 100*delta)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: throughput regressed more than %.0f%% against %s\n",
+			100**maxRegress, flag.Arg(0))
+		os.Exit(1)
+	}
+}

@@ -124,6 +124,13 @@ DECODED_AFTER="$(printf '%s' "$METRICS2" | sed -n 's/.*"scan_decoded_bytes": *\(
 }
 echo "block cache served the repeated query without decoding"
 
+echo "== pprof must be absent (daemon started without -pprof) =="
+PPROF_CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/")"
+[ "$PPROF_CODE" = "404" ] || {
+  echo "FAIL: /debug/pprof/ answered $PPROF_CODE without -pprof"; exit 1
+}
+echo "pprof endpoints are absent without -pprof"
+
 echo "== graceful shutdown =="
 kill -TERM "$VANID_PID"
 wait "$VANID_PID"
