@@ -1,0 +1,71 @@
+package main
+
+// `vani fleet` runs a cross-trace fleet query directly against a vanid
+// repository directory (-data-dir), read-only — no daemon required, safe
+// against a live one. The same reducer backs GET /fleet/query, so the YAML
+// here is byte-identical to the service's.
+//
+//	vani fleet -repo /var/lib/vanid -workload hacc -yaml fleet.yaml
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"vani/internal/cliutil"
+	"vani/internal/repo"
+	"vani/internal/report"
+	"vani/internal/workloads"
+)
+
+func fleetMain(args []string) {
+	fs := flag.NewFlagSet("vani fleet", flag.ExitOnError)
+	dir := fs.String("repo", "", "trace repository root (vanid's -data-dir) (required)")
+	workload := fs.String("workload", "", "restrict to one workload label (default: every stored trace)")
+	par := fs.Int("par", 0, "concurrent per-trace characterizations (0 = GOMAXPROCS)")
+	tables := fs.Bool("tables", true, "render the fleet tables")
+	yamlOut := fs.String("yaml", "", "write the fleet report as YAML to this file (\"-\" for stdout)")
+	ff := cliutil.RegisterFilterFlags(fs)
+	fs.Parse(args) //nolint:errcheck // ExitOnError never returns an error
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: vani fleet -repo <data-dir> [-workload name] [-window from:to] [-ranks 0-63] [-levels posix] [-ops data] [-par n] [-yaml out.yaml]")
+		os.Exit(2)
+	}
+	filter, err := ff.Filter()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r, err := repo.Open(*dir, repo.Options{ReadOnly: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer r.Close() //nolint:errcheck // read-only: nothing to persist
+
+	cfg := workloads.DefaultSpec().Storage
+	q := repo.Query{Workload: *workload, Filter: filter, Parallelism: *par}
+	fr, err := r.FleetQuery(context.Background(), q, repo.DefaultCharacterizer(cfg.Clone(), 1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *tables {
+		fmt.Println(report.FleetTable(fr))
+	}
+	switch *yamlOut {
+	case "":
+	case "-":
+		os.Stdout.Write(fr.YAML()) //nolint:errcheck
+	default:
+		data := fr.YAML()
+		if err := os.WriteFile(*yamlOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *yamlOut, len(data))
+	}
+}

@@ -20,6 +20,12 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch before flag parsing: `vani fleet ...` has its own
+	// flag set (repository queries, not single-trace analysis).
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		fleetMain(os.Args[2:])
+		return
+	}
 	traceFile := flag.String("t", "", "trace file to analyze (required)")
 	tables := flag.Bool("tables", true, "render the entity tables")
 	figure := flag.Bool("figure", false, "render the figure panels")

@@ -37,7 +37,10 @@ func main() {
 	workers := flag.Int("workers", 4, "characterization worker pool size")
 	queueDepth := flag.Int("queue-depth", 64, "bounded job queue depth (full queue returns 429)")
 	cacheEntries := flag.Int("cache-entries", 256, "report cache capacity (LRU entries)")
-	spoolDir := flag.String("spool-dir", "", "directory for uploaded traces (default: a fresh temp dir)")
+	spoolDir := flag.String("spool-dir", "", "throwaway directory for uploaded traces (default: a fresh temp dir; ignored with -data-dir)")
+	dataDir := flag.String("data-dir", "", "persistent trace repository root: uploads survive restarts and /fleet/query is served")
+	compactEvery := flag.Duration("compact-every", 0, "background repository compaction period (0 disables; POST /v1/compact always works)")
+	retainAge := flag.Duration("retain-age", 0, "drop stored traces older than this during repository GC (0 keeps everything)")
 	par := flag.Int("parallelism", 0, "per-job analyzer parallelism (0 = GOMAXPROCS)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-block cache budget in bytes (0 = 256 MiB default, negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown before aborting them")
@@ -49,6 +52,9 @@ func main() {
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		SpoolDir:     *spoolDir,
+		DataDir:      *dataDir,
+		CompactEvery: *compactEvery,
+		RetainAge:    *retainAge,
 		Parallelism:  *par,
 		CacheBytes:   *cacheBytes,
 		EnablePprof:  *pprofOn,

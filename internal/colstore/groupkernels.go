@@ -250,6 +250,12 @@ func (t *Table) UnifyCodes(col Col, maxCard int32) (*CodeUnifier, error) {
 							break
 						}
 					}
+				} else if mn, mx, _, fok := cur.FORStats(); fok {
+					// FOR: every stored value lies in [min, max], so noting
+					// the two achieved endpoints bounds the whole segment —
+					// hasNeg and the cardinality follow without unpacking.
+					served = true
+					dense = note(mn) && note(mx)
 				}
 				cur.Release()
 			}

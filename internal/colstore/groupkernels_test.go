@@ -110,6 +110,7 @@ func TestCodeUnifierAcrossBlockDictionaries(t *testing.T) {
 		"auto": trace.CodecAuto,
 		"dict": trace.CodecForceDict,
 		"rle":  trace.CodecForceRLE,
+		"for":  trace.CodecForceFOR,
 	}
 	for cname, codec := range codecs {
 		br := blockReaderFor(t, tr, trace.V2Options{Codec: codec})
@@ -179,6 +180,48 @@ func TestCodeUnifierAcrossBlockDictionaries(t *testing.T) {
 			}
 		}
 		SetGroupedKernelsEnabled(true)
+	}
+}
+
+// TestKeySpansServeFORCodedKeys: with every segment forced to FOR, the
+// key-span kernel still tiles chunks from coalesced base+offset runs —
+// the codec the unifier and key columns previously fell back on.
+func TestKeySpansServeFORCodedKeys(t *testing.T) {
+	tr := groupTrace(2)
+	br := blockReaderFor(t, tr, trace.V2Options{Codec: trace.CodecForceFOR})
+	var stats ScanStats
+	tb, err := FromBlocksSpec(br, 1, ScanSpec{}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < tb.NumChunks(); k++ {
+		spans, ok := tb.ChunkKeySpans(k, nil)
+		if !ok {
+			t.Fatalf("chunk %d: key spans not served from FOR segments", k)
+		}
+		c := tb.ChunkAt(k)
+		if err := c.Require(trace.AllCols); err != nil {
+			t.Fatal(err)
+		}
+		row := 0
+		for _, s := range spans {
+			if s.Lo != row {
+				t.Fatalf("chunk %d: span starts at %d, want %d (spans must tile)", k, s.Lo, row)
+			}
+			for j := s.Lo; j < s.Hi; j++ {
+				if c.Level[j] != s.Level || c.Rank[j] != s.Rank || c.Node[j] != s.Node ||
+					c.App[j] != s.App || c.File[j] != s.File {
+					t.Fatalf("chunk %d row %d: key span keys differ from columns", k, j)
+				}
+			}
+			row = s.Hi
+		}
+		if row != c.N {
+			t.Fatalf("chunk %d: spans cover %d rows of %d", k, row, c.N)
+		}
+	}
+	if served := stats.KernelServed[KKeySpan].Load(); served == 0 {
+		t.Error("KKeySpan served counter did not move on FOR-coded keys")
 	}
 }
 

@@ -104,6 +104,14 @@ func init() {
 		registerKernel(KKeySpan, codec)
 		registerKernel(KGroupAgg, codec)
 	}
+	// FOR segments coalesce into value runs too (SegCursor.AppendRuns
+	// unpacks base+offset adjacency), so they serve the run- and
+	// code-domain kernels — all but KPredicate, whose selection paths
+	// dispatch on dict/RLE structure directly (Runs/ForEachCode) and
+	// never consult a captured run summary.
+	for _, op := range []KernelOp{KCountEq, KSumEq, KHist, KGroupBy, KSpanScan, KKeySpan, KGroupAgg} {
+		registerKernel(op, trace.SegCodecFOR)
+	}
 	// FOR headers answer range queries without unpacking.
 	registerKernel(KMinMax, trace.SegCodecFOR)
 	kernelsOff.Store(false)

@@ -34,7 +34,9 @@ func mixedTrace(n int) *trace.Trace {
 }
 
 // TestKernelRegistryCaps pins the registry: run-structured codecs serve the
-// run/code-domain kernels, FOR serves only min/max, raw serves nothing.
+// run/code-domain kernels, FOR serves everything but the predicate paths
+// (which dispatch on dict/RLE structure directly) and min/max, raw serves
+// nothing.
 func TestKernelRegistryCaps(t *testing.T) {
 	for _, op := range []KernelOp{KPredicate, KCountEq, KSumEq, KHist, KGroupBy, KSpanScan} {
 		for _, codec := range []uint8{trace.SegCodecRLE, trace.SegCodecDict} {
@@ -42,8 +44,22 @@ func TestKernelRegistryCaps(t *testing.T) {
 				t.Errorf("KernelServes(%v, codec %d) = false, want true", op, codec)
 			}
 		}
-		if KernelServes(op, trace.SegCodecRaw) || KernelServes(op, trace.SegCodecFOR) {
-			t.Errorf("%v served from raw or FOR segments", op)
+		if KernelServes(op, trace.SegCodecRaw) {
+			t.Errorf("%v served from raw segments", op)
+		}
+		if op == KPredicate {
+			if KernelServes(op, trace.SegCodecFOR) {
+				t.Errorf("%v served from FOR segments", op)
+			}
+		} else if !KernelServes(op, trace.SegCodecFOR) {
+			t.Errorf("KernelServes(%v, FOR) = false, want true", op)
+		}
+	}
+	for _, op := range []KernelOp{KKeySpan, KGroupAgg} {
+		for _, codec := range []uint8{trace.SegCodecRLE, trace.SegCodecDict, trace.SegCodecFOR} {
+			if !KernelServes(op, codec) {
+				t.Errorf("KernelServes(%v, codec %d) = false, want true", op, codec)
+			}
 		}
 	}
 	if !KernelServes(KMinMax, trace.SegCodecFOR) {

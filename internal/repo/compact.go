@@ -1,0 +1,205 @@
+package repo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"vani/internal/trace"
+)
+
+// packMagic heads every pack file; member offsets start right after it.
+var packMagic = []byte("VANIPACK")
+
+// CompactNow merges every shard holding at least CompactMinFiles loose
+// traces into one consolidated pack per shard, re-encoding each trace as
+// flate-wrapped VANITRC2 v2.2 (the cost model re-picks segment codecs).
+// Returns the number of traces packed. The pack file reaches disk and is
+// fsynced before the manifest records it; loose originals are removed
+// only after the record — or, when scans still pin them, at the last
+// release.
+func (r *Repo) CompactNow() (int, error) {
+	if r.opt.ReadOnly {
+		return 0, ErrReadOnly
+	}
+	type group struct {
+		key     string
+		members []*Entry
+	}
+	r.mu.Lock()
+	byShard := make(map[string][]*Entry)
+	for _, e := range r.entries {
+		if e.Pack == "" {
+			k := e.Workload + "/" + e.Bucket
+			byShard[k] = append(byShard[k], e)
+		}
+	}
+	groups := make([]group, 0, len(byShard))
+	for k, ms := range byShard {
+		if len(ms) < r.opt.CompactMinFiles {
+			continue
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i].SHA < ms[j].SHA })
+		groups = append(groups, group{key: k, members: ms})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	r.mu.Unlock()
+
+	packed := 0
+	for _, g := range groups {
+		n, err := r.packShard(g.members)
+		if err != nil {
+			return packed, err
+		}
+		packed += n
+	}
+	return packed, nil
+}
+
+// packShard builds one pack from the sha-sorted loose members of a shard.
+func (r *Repo) packShard(members []*Entry) (int, error) {
+	// Re-encode each member outside the lock; Add/Acquire stay live.
+	var buf bytes.Buffer
+	buf.Write(packMagic)
+	recs := make([]packMember, 0, len(members))
+	nameHash := sha256.New()
+	for _, e := range members {
+		f, err := os.Open(r.loosePath(e))
+		if err != nil {
+			// The member left (GC raced us); skip the whole shard this
+			// round rather than build a partial pack.
+			return 0, nil
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return 0, fmt.Errorf("repo: compact %s: %w", e.SHA, err)
+		}
+		off := int64(buf.Len())
+		if err := trace.WriteV2With(&buf, tr, trace.V2Options{Compress: true}); err != nil {
+			return 0, fmt.Errorf("repo: compact %s: %w", e.SHA, err)
+		}
+		recs = append(recs, packMember{SHA: e.SHA, Off: off, Len: int64(buf.Len()) - off})
+		nameHash.Write([]byte(e.SHA))
+	}
+	rel := filepath.Join("packs", "p-"+hex.EncodeToString(nameHash.Sum(nil))[:16]+".vpk")
+	abs := r.packPath(rel)
+
+	tmp := filepath.Join(r.tmpDir(), filepath.Base(rel)+".part")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("repo: compact: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("repo: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("repo: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("repo: compact: %w", err)
+	}
+	if err := os.Rename(tmp, abs); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("repo: compact: %w", err)
+	}
+	if r.hookAfterPackRename != nil {
+		if err := r.hookAfterPackRename(); err != nil {
+			return 0, err
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Members may have been dropped while we encoded; the pack is only
+	// recorded if every member is still loose, else it becomes an orphan
+	// the next boot (or the remove below) cleans up.
+	for _, m := range members {
+		cur, ok := r.entries[m.SHA]
+		if !ok || cur.Pack != "" {
+			os.Remove(abs)
+			return 0, nil
+		}
+	}
+	if err := r.appendRecLocked(manifestRec{Op: opPack, Pack: rel, Members: recs}); err != nil {
+		os.Remove(abs)
+		return 0, err
+	}
+	for i, m := range members {
+		loose := r.loosePath(m)
+		m.Pack, m.Off, m.Size = rel, recs[i].Off, recs[i].Len
+		r.doomLocked(loose)
+	}
+	r.packBytes[rel] = int64(buf.Len())
+	r.packLive[rel] = len(members)
+	r.compactions++
+	return len(members), nil
+}
+
+// GC drops traces older than RetainAge. Backing files shared with
+// pinned scans are removed at the last release. Returns the number of
+// traces dropped.
+func (r *Repo) GC() (int, error) {
+	if r.opt.ReadOnly {
+		return 0, ErrReadOnly
+	}
+	if r.opt.RetainAge <= 0 {
+		return 0, nil
+	}
+	cutoff := r.now().UTC().Add(-r.opt.RetainAge).Unix()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var doomed []string
+	for sha, e := range r.entries {
+		if e.Added < cutoff {
+			doomed = append(doomed, sha)
+		}
+	}
+	sort.Strings(doomed)
+	for _, sha := range doomed {
+		e := r.entries[sha]
+		if err := r.appendRecLocked(manifestRec{Op: opDrop, SHA: sha}); err != nil {
+			return 0, err
+		}
+		delete(r.entries, sha)
+		if e.Pack == "" {
+			r.doomLocked(r.loosePath(e))
+			continue
+		}
+		if r.packLive[e.Pack]--; r.packLive[e.Pack] <= 0 {
+			delete(r.packLive, e.Pack)
+			delete(r.packBytes, e.Pack)
+			r.doomLocked(r.packPath(e.Pack))
+		}
+	}
+	return len(doomed), nil
+}
+
+func (r *Repo) compactLoop() {
+	defer close(r.done)
+	t := time.NewTicker(r.opt.CompactEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			if _, err := r.CompactNow(); err != nil {
+				fmt.Fprintf(os.Stderr, "vanid: repo compaction: %v\n", err)
+			}
+			if _, err := r.GC(); err != nil {
+				fmt.Fprintf(os.Stderr, "vanid: repo gc: %v\n", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package repo
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Manifest ops, one JSON object per log line.
+const (
+	opAdd  = "add"  // a loose trace landed in its shard
+	opPack = "pack" // a pack file now backs the listed members
+	opDrop = "drop" // a trace left the repository (GC)
+)
+
+type manifestRec struct {
+	Op       string       `json:"op"`
+	SHA      string       `json:"sha,omitempty"`
+	Workload string       `json:"workload,omitempty"`
+	Bucket   string       `json:"bucket,omitempty"`
+	Size     int64        `json:"size,omitempty"`
+	Added    int64        `json:"added,omitempty"`
+	Pack     string       `json:"pack,omitempty"`
+	Members  []packMember `json:"members,omitempty"`
+}
+
+type packMember struct {
+	SHA string `json:"sha"`
+	Off int64  `json:"off"`
+	Len int64  `json:"len"`
+}
+
+// checkpointState is the atomic-rename snapshot that supersedes the log.
+type checkpointState struct {
+	Entries []Entry `json:"entries"`
+}
+
+// appendRecLocked durably appends one record to the manifest log.
+// Callers hold r.mu.
+func (r *Repo) appendRecLocked(rec manifestRec) error {
+	if r.log == nil {
+		return ErrReadOnly
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("repo: manifest: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := r.log.Write(b); err != nil {
+		return fmt.Errorf("repo: manifest: %w", err)
+	}
+	if err := r.log.Sync(); err != nil {
+		return fmt.Errorf("repo: manifest: %w", err)
+	}
+	return nil
+}
+
+func (r *Repo) applyRec(rec manifestRec) {
+	switch rec.Op {
+	case opAdd:
+		r.entries[rec.SHA] = &Entry{
+			SHA: rec.SHA, Workload: rec.Workload, Bucket: rec.Bucket,
+			Size: rec.Size, Added: rec.Added,
+		}
+	case opPack:
+		live := 0
+		for _, m := range rec.Members {
+			if e, ok := r.entries[m.SHA]; ok {
+				e.Pack, e.Off, e.Size = rec.Pack, m.Off, m.Len
+				live++
+			}
+		}
+		if live > 0 {
+			r.packLive[rec.Pack] = live
+		}
+	case opDrop:
+		if e, ok := r.entries[rec.SHA]; ok {
+			if e.Pack != "" {
+				if r.packLive[e.Pack]--; r.packLive[e.Pack] <= 0 {
+					delete(r.packLive, e.Pack)
+				}
+			}
+			delete(r.entries, rec.SHA)
+		}
+	}
+}
+
+// loadManifest replays checkpoint then log into r.entries. A torn final
+// log line (crash mid-append) is ignored; everything before it applies.
+func (r *Repo) loadManifest() error {
+	if b, err := os.ReadFile(r.ckptPath()); err == nil {
+		var st checkpointState
+		if jerr := json.Unmarshal(b, &st); jerr != nil {
+			return fmt.Errorf("repo: corrupt checkpoint %s: %w", r.ckptPath(), jerr)
+		}
+		for i := range st.Entries {
+			e := st.Entries[i]
+			r.entries[e.SHA] = &e
+			if e.Pack != "" {
+				r.packLive[e.Pack]++
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("repo: %w", err)
+	}
+	f, err := os.Open(r.logPath())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("repo: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec manifestRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail from a crash mid-append; the rescan below
+			// re-adopts whatever the lost record described.
+			break
+		}
+		r.applyRec(rec)
+	}
+	return nil
+}
+
+func (r *Repo) writeCheckpoint() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.writeCheckpointLocked()
+}
+
+// writeCheckpointLocked snapshots entries to manifest.ckpt via
+// write-to-tmp + fsync + atomic rename. Callers hold r.mu.
+func (r *Repo) writeCheckpointLocked() error {
+	st := checkpointState{Entries: make([]Entry, 0, len(r.entries))}
+	for _, e := range r.entries {
+		st.Entries = append(st.Entries, *e)
+	}
+	// Deterministic file content keeps checkpoint diffs meaningful.
+	sortEntries(st.Entries)
+	b, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("repo: checkpoint: %w", err)
+	}
+	tmp := r.ckptPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("repo: checkpoint: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("repo: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("repo: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repo: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, r.ckptPath()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repo: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func sortEntries(es []Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].SHA < es[j-1].SHA; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// rescan reconciles the manifest with the tree: drop entries whose
+// backing vanished, adopt loose files the manifest never recorded
+// (hash-verified), delete loose leftovers of packed traces, size and
+// prune pack files, and clear staging.
+func (r *Repo) rescan() error {
+	// 1. Entries must have backing bytes.
+	for sha, e := range r.entries {
+		path := r.loosePath(e)
+		if e.Pack != "" {
+			path = r.packPath(e.Pack)
+		}
+		if _, err := os.Stat(path); err != nil {
+			if e.Pack != "" {
+				if r.packLive[e.Pack]--; r.packLive[e.Pack] <= 0 {
+					delete(r.packLive, e.Pack)
+				}
+			}
+			delete(r.entries, sha)
+		}
+	}
+	// 2. Adopt orphan loose files; remove loose leftovers of packed
+	// entries (a crash window between pack record and loose deletion).
+	if err := r.rescanShards(); err != nil {
+		return err
+	}
+	// 3. Size referenced packs, drop unreferenced ones.
+	packs, err := os.ReadDir(r.packsDir())
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("repo: %w", err)
+	}
+	for _, de := range packs {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".vpk") {
+			continue
+		}
+		rel := filepath.Join("packs", de.Name())
+		abs := r.packPath(rel)
+		if _, ok := r.packLive[rel]; !ok {
+			if !r.opt.ReadOnly {
+				os.Remove(abs)
+			}
+			continue
+		}
+		fi, err := os.Stat(abs)
+		if err != nil {
+			return fmt.Errorf("repo: %w", err)
+		}
+		r.packBytes[rel] = fi.Size()
+	}
+	// 4. Staging is garbage after a restart.
+	if !r.opt.ReadOnly {
+		if tmps, err := os.ReadDir(r.tmpDir()); err == nil {
+			for _, de := range tmps {
+				os.Remove(filepath.Join(r.tmpDir(), de.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Repo) rescanShards() error {
+	workloads, err := os.ReadDir(r.shardsDir())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("repo: %w", err)
+	}
+	for _, wd := range workloads {
+		if !wd.IsDir() {
+			continue
+		}
+		buckets, err := os.ReadDir(filepath.Join(r.shardsDir(), wd.Name()))
+		if err != nil {
+			return fmt.Errorf("repo: %w", err)
+		}
+		for _, bd := range buckets {
+			if !bd.IsDir() {
+				continue
+			}
+			files, err := os.ReadDir(filepath.Join(r.shardsDir(), wd.Name(), bd.Name()))
+			if err != nil {
+				return fmt.Errorf("repo: %w", err)
+			}
+			for _, fe := range files {
+				name := fe.Name()
+				if fe.IsDir() || !strings.HasSuffix(name, ".trc") {
+					continue
+				}
+				sha := strings.TrimSuffix(name, ".trc")
+				path := filepath.Join(r.shardsDir(), wd.Name(), bd.Name(), name)
+				if e, ok := r.entries[sha]; ok {
+					if e.Pack != "" && !r.opt.ReadOnly {
+						// Packed already; the loose copy is a leftover.
+						os.Remove(path)
+					}
+					continue
+				}
+				if r.opt.ReadOnly {
+					continue
+				}
+				size, ok, err := verifySHA(path, sha)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					// Content does not match its name: not ours to
+					// trust, not ours to delete.
+					continue
+				}
+				added := r.now().UTC().Unix()
+				if fi, err := fe.Info(); err == nil {
+					added = fi.ModTime().UTC().Unix()
+				}
+				r.entries[sha] = &Entry{
+					SHA: sha, Workload: wd.Name(), Bucket: bd.Name(),
+					Size: size, Added: added,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// verifySHA reports whether the file's SHA-256 matches want, returning
+// its size.
+func verifySHA(path, want string) (int64, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("repo: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return 0, false, fmt.Errorf("repo: %w", err)
+	}
+	return n, hex.EncodeToString(h.Sum(nil)) == want, nil
+}

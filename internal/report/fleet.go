@@ -1,0 +1,75 @@
+package report
+
+// Fleet tables: the cross-trace aggregate a fleet query produces, rendered
+// with the same table primitives as the paper's per-workload tables. The
+// input is already deterministic (sha-sorted traces, fixed merge order), so
+// the text renders byte-identical wherever the query ran.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vani/internal/repo"
+)
+
+// FleetTable renders a fleet report: the aggregate summary followed by one
+// row per stored trace.
+func FleetTable(fr *repo.FleetReport) string {
+	scope := fr.Workload
+	if scope == "" {
+		scope = "all workloads"
+	}
+	agg := fr.Aggregate
+	t := NewTable(fmt.Sprintf("Fleet summary: %s (%d runs)", scope, fr.Runs), "Metric", "Value")
+	t.AddRow("total I/O", Bytes(agg.IOBytes))
+	t.AddRow("read / write", fmt.Sprintf("%s / %s", Bytes(agg.ReadBytes), Bytes(agg.WriteBytes)))
+	t.AddRow("read granule p50/p99", fmt.Sprintf("%s / %s",
+		Bytes(int64(agg.ReadGranule.P50)), Bytes(int64(agg.ReadGranule.P99))))
+	t.AddRow("write granule p50/p99", fmt.Sprintf("%s / %s",
+		Bytes(int64(agg.WriteGranule.P50)), Bytes(int64(agg.WriteGranule.P99))))
+	t.AddRow("I/O time p50/p99", fmt.Sprintf("%s / %s", Dur(agg.IOTimeP50), Dur(agg.IOTimeP99)))
+	t.AddRow("interface mix", interfaceMix(agg.InterfaceMix))
+	if agg.Regression.SlowestSHA != "" {
+		t.AddRow("slowest vs fastest", fmt.Sprintf("%s vs %s (+%.1f%%)",
+			shortSHA(agg.Regression.SlowestSHA), shortSHA(agg.Regression.FastestSHA),
+			agg.Regression.DeltaPct))
+	}
+	out := t.Render()
+
+	if len(fr.Traces) == 0 {
+		return out
+	}
+	rt := NewTable("Fleet traces (sha order)",
+		"Trace", "Runtime", "I/O time", "I/O amount", "R/W granule", "Interfaces", "Phases")
+	for _, s := range fr.Traces {
+		rt.AddRow(shortSHA(s.SHA), Dur(s.Runtime), Dur(s.IOTime), Bytes(s.IOBytes),
+			fmt.Sprintf("%s/%s", Bytes(s.ReadGranule), Bytes(s.WriteGranule)),
+			strings.Join(s.Interfaces, ","), fmt.Sprint(s.Phases))
+	}
+	return out + "\n" + rt.Render()
+}
+
+// interfaceMix renders "posix:3 stdio:1" in name order ("-" when empty).
+func interfaceMix(mix map[string]int) string {
+	if len(mix) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(mix))
+	for n := range mix {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s:%d", n, mix[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

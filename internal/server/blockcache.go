@@ -14,6 +14,7 @@ package server
 import (
 	"bytes"
 	"container/list"
+	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -43,10 +44,13 @@ func newBlockCache(capBytes int64, m *Metrics) *blockCache {
 
 // traceEntry is one cached trace: its raw bytes (mmap-backed where the
 // platform allows), a block reader over them, and the first-wins published
-// decoded-block handles.
+// decoded-block handles. For repository pack members the entry maps the
+// whole pack and scans a [off, off+size) slice of it — mappings must start
+// at the file head (page alignment), slices can start anywhere.
 type traceEntry struct {
 	sha    string
-	data   []byte
+	raw    []byte // the full mapping (or heap copy)
+	data   []byte // the trace's bytes: raw[off : off+size]
 	mapped bool
 	br     *trace.BlockReader
 	blocks []atomic.Pointer[trace.BlockData]
@@ -54,11 +58,13 @@ type traceEntry struct {
 	refs   int   // in-flight scans; guarded by the cache mutex
 }
 
-// newTraceEntry maps the spooled trace and parses its footer. The entry's
-// byte charge is the worst case it can grow to: the raw bytes, one
-// retained heap payload copy per block (payloads together are at most the
-// file size), and every block's columns memoized.
-func newTraceEntry(sha, path string) (*traceEntry, error) {
+// newTraceEntry maps the stored trace and parses its footer. off/size
+// select a pack member's section; size 0 means the whole file. The
+// entry's byte charge is the worst case it can grow to: the trace bytes
+// twice (raw plus one retained heap payload copy per block — payloads
+// together are at most the section size) and every block's columns
+// memoized.
+func newTraceEntry(sha, path string, off, size int64) (*traceEntry, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -68,22 +74,31 @@ func newTraceEntry(sha, path string) (*traceEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, mapped, err := mapFile(f, info.Size())
-	if err != nil || data == nil {
+	raw, mapped, err := mapFile(f, info.Size())
+	if err != nil || raw == nil {
 		// Mapping unavailable (or an empty file): fall back to the heap.
-		if data, err = os.ReadFile(path); err != nil {
+		if raw, err = os.ReadFile(path); err != nil {
 			return nil, err
 		}
 		mapped = false
 	}
-	e := &traceEntry{sha: sha, data: data, mapped: mapped}
-	e.br, err = trace.NewBlockReader(bytes.NewReader(data), int64(len(data)))
+	if size == 0 {
+		size = int64(len(raw)) - off
+	}
+	if off < 0 || size < 0 || off+size > int64(len(raw)) {
+		if mapped {
+			unmapFile(raw) //nolint:errcheck
+		}
+		return nil, fmt.Errorf("trace section [%d, %d) outside file of %d bytes", off, off+size, len(raw))
+	}
+	e := &traceEntry{sha: sha, raw: raw, data: raw[off : off+size], mapped: mapped}
+	e.br, err = trace.NewBlockReader(bytes.NewReader(e.data), size)
 	if err != nil {
 		e.drop()
 		return nil, err
 	}
 	e.blocks = make([]atomic.Pointer[trace.BlockData], e.br.NumBlocks())
-	e.bytes = 2*int64(len(data)) + int64(e.br.NumEvents())*trace.MemoRowBytes
+	e.bytes = 2*size + int64(e.br.NumEvents())*trace.MemoRowBytes
 	return e, nil
 }
 
@@ -91,14 +106,17 @@ func newTraceEntry(sha, path string) (*traceEntry, error) {
 // still touches them (refs == 0, or the entry never published).
 func (e *traceEntry) drop() {
 	if e.mapped {
-		unmapFile(e.data) //nolint:errcheck // nothing to do about munmap failure
+		unmapFile(e.raw) //nolint:errcheck // nothing to do about munmap failure
 	}
-	e.data, e.br = nil, nil
+	e.raw, e.data, e.br = nil, nil, nil
 }
 
 // acquire returns a pinned block source for the trace, building and
-// inserting an entry on miss. Release with release when the scan is done.
-func (bc *blockCache) acquire(sha, path string) (*cachedSource, error) {
+// inserting an entry on miss. off/size locate the trace within the file
+// (pack members); entries stay keyed by content sha, so the same trace
+// hits the cache whether it is loose or packed. Release with release when
+// the scan is done.
+func (bc *blockCache) acquire(sha, path string, off, size int64) (*cachedSource, error) {
 	bc.mu.Lock()
 	if el, ok := bc.bySHA[sha]; ok {
 		bc.order.MoveToFront(el)
@@ -110,7 +128,7 @@ func (bc *blockCache) acquire(sha, path string) (*cachedSource, error) {
 	bc.mu.Unlock()
 
 	// Build outside the lock: mapping and footer parsing can be slow.
-	e, err := newTraceEntry(sha, path)
+	e, err := newTraceEntry(sha, path, off, size)
 	if err != nil {
 		return nil, err
 	}

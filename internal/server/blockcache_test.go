@@ -131,7 +131,7 @@ func TestBlockCacheEviction(t *testing.T) {
 	pb := writeTraceFile(t, dir, "b.trc", 5000)
 
 	m := &Metrics{}
-	probe, err := newTraceEntry("probe", pa)
+	probe, err := newTraceEntry("probe", pa, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,12 +140,12 @@ func TestBlockCacheEviction(t *testing.T) {
 
 	// Budget fits one entry but not two.
 	bc := newBlockCache(entryBytes+entryBytes/2, m)
-	a, err := bc.acquire("sha-a", pa)
+	a, err := bc.acquire("sha-a", pa, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bc.release(a)
-	b, err := bc.acquire("sha-b", pb)
+	b, err := bc.acquire("sha-b", pb, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestBlockCacheEviction(t *testing.T) {
 		t.Errorf("gauge %d, want %d", m.BlockCacheBytes.Load(), entryBytes)
 	}
 	// b is pinned: admitting a again blows the budget but must not evict b.
-	a2, err := bc.acquire("sha-a", pa)
+	a2, err := bc.acquire("sha-a", pa, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestCachedSourceMemoizesBlocks(t *testing.T) {
 	path := writeTraceFile(t, t.TempDir(), "t.trc", 20000)
 	m := &Metrics{}
 	bc := newBlockCache(1<<30, m)
-	cs, err := bc.acquire("sha", path)
+	cs, err := bc.acquire("sha", path, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestCachedSourceMemoizesBlocks(t *testing.T) {
 		t.Errorf("hits=%d misses=%d, want 1/1", h, mi)
 	}
 	// A second acquire of the same trace shares the published handles.
-	cs2, err := bc.acquire("sha", path)
+	cs2, err := bc.acquire("sha", path, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,12 +12,25 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 	"sync"
 
 	"vani"
 	"vani/internal/colstore"
+	"vani/internal/repo"
 	"vani/internal/trace"
 )
+
+// traceLoc locates one stored trace's bytes: a whole file (legacy spool,
+// loose repository file) or a [off, off+size) section of a pack file.
+type traceLoc struct {
+	sha  string
+	path string
+	off  int64
+	size int64 // 0 = whole file
+	v2   bool  // VANITRC2 (pack members always are)
+}
 
 // jobState is the lifecycle of a characterization job.
 type jobState string
@@ -29,12 +42,12 @@ const (
 	jobFailed  jobState = "failed"
 )
 
-// job is one queued characterization: a spooled trace plus a filter spec.
+// job is one queued characterization: a stored trace plus a filter spec.
 type job struct {
 	id       string
 	reportID string
-	traceSHA string
-	path     string // content-addressed spool file
+	loc      traceLoc
+	handle   *repo.Handle // repo mode: pins the backing file; nil on spool
 	filter   trace.Filter
 
 	mu    sync.Mutex
@@ -42,6 +55,16 @@ type job struct {
 	errs  string
 
 	done chan struct{} // closed when the job reaches done or failed
+}
+
+// releaseHandle unpins the job's repository handle (idempotent, nil-safe).
+func (j *job) releaseHandle() { releaseHandle(j.handle) }
+
+// releaseHandle unpins a repository handle; nil (spool mode) is a no-op.
+func releaseHandle(h *repo.Handle) {
+	if h != nil {
+		h.Close()
+	}
 }
 
 func (j *job) setState(st jobState, errMsg string) {
@@ -75,8 +98,9 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob characterizes one spooled trace and publishes the report.
+// runJob characterizes one stored trace and publishes the report.
 func (s *Server) runJob(j *job) {
+	defer j.releaseHandle()
 	if s.beforeJob != nil {
 		s.beforeJob() // test hook: hold workers to fill the queue
 	}
@@ -84,7 +108,7 @@ func (s *Server) runJob(j *job) {
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
 
-	rep, sc, err := s.characterize(s.baseCtx, j.path, j.traceSHA, j.filter, j.reportID)
+	rep, sc, err := s.characterize(s.baseCtx, j.loc, j.filter, j.reportID)
 	if err != nil {
 		j.setState(jobFailed, err.Error())
 		s.metrics.JobsFailed.Add(1)
@@ -98,12 +122,12 @@ func (s *Server) runJob(j *job) {
 	close(j.done)
 }
 
-// characterize runs the analyzer over the spooled trace at path exactly the
-// way cmd/vani does — same default storage model, same filter pushdown, same
+// characterize runs the analyzer over the stored trace exactly the way
+// cmd/vani does — same default storage model, same filter pushdown, same
 // YAML renderer — so the served artifact is byte-identical to the CLI's.
 // VANITRC2 traces route through the shared decoded-block cache: repeat
 // queries against a hot trace (any filter spec) perform zero block decodes.
-func (s *Server) characterize(ctx context.Context, path, sha string, f trace.Filter, id string) (*report, colstore.ScanCounters, error) {
+func (s *Server) characterize(ctx context.Context, loc traceLoc, f trace.Filter, id string) (*report, colstore.ScanCounters, error) {
 	opt := vani.DefaultAnalyzerOptions()
 	opt.Storage = s.storageCfg()
 	opt.Parallelism = s.cfg.Parallelism
@@ -111,7 +135,7 @@ func (s *Server) characterize(ctx context.Context, path, sha string, f trace.Fil
 	var timings vani.AnalyzerTimings
 	opt.Stats = &timings
 
-	c, err := s.analyze(ctx, path, sha, opt)
+	c, err := s.analyze(ctx, loc, opt)
 	if err != nil {
 		return nil, colstore.ScanCounters{}, err
 	}
@@ -124,19 +148,32 @@ func (s *Server) characterize(ctx context.Context, path, sha string, f trace.Fil
 }
 
 // analyze picks the read path: block-cached for VANITRC2 when the cache is
-// on, the plain file path otherwise. Both produce the identical
-// characterization; the cache only changes where blocks decode.
-func (s *Server) analyze(ctx context.Context, path, sha string, opt vani.AnalyzerOptions) (*vani.Characterization, error) {
-	if s.blocks != nil && sha != "" {
-		if format, err := trace.SniffFile(path); err == nil && format == trace.FormatV2 {
-			src, err := s.blocks.acquire(sha, path)
-			if err == nil {
-				defer s.blocks.release(src)
-				return vani.CharacterizeBlocksContext(ctx, src, opt)
-			}
-			// Cache build failed (mmap limits, truncated spool): the plain
-			// file path below still serves the request.
+// on, a section reader for pack members, the plain file path otherwise.
+// All produce the identical characterization; the choice only changes
+// where blocks decode.
+func (s *Server) analyze(ctx context.Context, loc traceLoc, opt vani.AnalyzerOptions) (*vani.Characterization, error) {
+	if s.blocks != nil && loc.sha != "" && loc.v2 {
+		src, err := s.blocks.acquire(loc.sha, loc.path, loc.off, loc.size)
+		if err == nil {
+			defer s.blocks.release(src)
+			return vani.CharacterizeBlocksContext(ctx, src, opt)
 		}
+		// Cache build failed (mmap limits, truncated file): the direct
+		// paths below still serve the request.
 	}
-	return vani.CharacterizeFileContext(ctx, path, opt)
+	if loc.off > 0 {
+		// A pack member without the cache: scan its section in place.
+		f, err := os.Open(loc.path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sec := io.NewSectionReader(f, loc.off, loc.size)
+		br, err := trace.NewBlockReader(trace.ReaderAtContext(ctx, sec), loc.size)
+		if err != nil {
+			return nil, err
+		}
+		return vani.CharacterizeBlocksContext(ctx, br, opt)
+	}
+	return vani.CharacterizeFileContext(ctx, loc.path, opt)
 }

@@ -115,6 +115,14 @@ type MetricsSnapshot struct {
 	BlockCacheHits   int64 `json:"block_cache_hits"`
 	BlockCacheMisses int64 `json:"block_cache_misses"`
 	BlockCacheBytes  int64 `json:"block_cache_bytes"`
+
+	// Trace-repository gauges (zero when vanid runs without -data-dir).
+	// Snapshot cannot read them from atomics — they are filesystem state —
+	// so handleMetrics fills them from repo.Stats at serve time.
+	RepoShards      int64 `json:"repo_shards"`
+	RepoFiles       int64 `json:"repo_files"`
+	RepoCompactions int64 `json:"repo_compactions"`
+	RepoBytes       int64 `json:"repo_bytes"`
 }
 
 // Snapshot reads every counter.

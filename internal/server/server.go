@@ -19,12 +19,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vani"
 	"vani/internal/cliutil"
+	"vani/internal/repo"
 	"vani/internal/trace"
 	"vani/internal/workloads"
 )
@@ -45,8 +48,21 @@ type Config struct {
 	// negative disables the cache.
 	CacheBytes int64
 	// SpoolDir receives uploaded traces, content-addressed by SHA-256
-	// (default: a fresh directory under os.TempDir).
+	// (default: a fresh directory under os.TempDir). Ignored when DataDir
+	// selects the persistent repository instead.
 	SpoolDir string
+	// DataDir roots the persistent trace repository. When set, uploads
+	// survive restarts: they land in workload/day shards under DataDir, a
+	// crash-safe manifest indexes them, and the fleet-query endpoints are
+	// mounted. Empty keeps the legacy throwaway spool.
+	DataDir string
+	// CompactEvery is the background compaction period for the repository
+	// (0 disables the loop; POST /v1/compact still works). Only meaningful
+	// with DataDir.
+	CompactEvery time.Duration
+	// RetainAge drops stored traces older than this during repository GC
+	// (0 keeps everything). Only meaningful with DataDir.
+	RetainAge time.Duration
 	// Storage is the storage model handed to the analyzer; nil means the
 	// same default cmd/vani uses, keeping reports byte-identical across
 	// the CLI and the service.
@@ -72,6 +88,11 @@ func (c *Config) fill() error {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 256 << 20
 	}
+	if c.DataDir != "" {
+		// Repository mode: uploads go through the persistent store, no
+		// throwaway spool needed.
+		return nil
+	}
 	if c.SpoolDir == "" {
 		dir, err := os.MkdirTemp("", "vanid-spool-")
 		if err != nil {
@@ -91,6 +112,9 @@ type Server struct {
 	metrics *Metrics
 	cache   *reportCache
 	blocks  *blockCache // shared decoded-block cache; nil when disabled
+	repo    *repo.Repo  // persistent trace repository; nil in spool mode
+
+	repoOnce sync.Once // repository closes exactly once across Shutdown/Close
 
 	baseCtx context.Context // canceled to abort in-flight jobs
 	abort   context.CancelFunc
@@ -130,6 +154,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheBytes > 0 {
 		s.blocks = newBlockCache(cfg.CacheBytes, metrics)
 	}
+	if cfg.DataDir != "" {
+		rp, err := repo.Open(cfg.DataDir, repo.Options{
+			CompactEvery: cfg.CompactEvery,
+			RetainAge:    cfg.RetainAge,
+		})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("opening trace repository: %w", err)
+		}
+		s.repo = rp
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
 	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
@@ -137,6 +172,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/reports/{id}", s.handleReport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.repo != nil {
+		s.mux.HandleFunc("GET /fleet/query", s.handleFleet)
+		s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	}
 	if cfg.EnablePprof {
 		// net/http/pprof registers on DefaultServeMux at import; serve the
 		// same handlers from this mux only when the operator opted in.
@@ -177,12 +216,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeRepo()
 		return nil
 	case <-ctx.Done():
 		s.abort() // in-flight characterizations observe this mid-scan
 		<-done
+		s.closeRepo()
 		return ctx.Err()
 	}
+}
+
+// closeRepo checkpoints and closes the repository after the worker pool has
+// exited (no scans hold handles). Safe to call multiple times and without a
+// repository.
+func (s *Server) closeRepo() {
+	if s.repo == nil {
+		return
+	}
+	s.repoOnce.Do(func() {
+		s.repo.Close() //nolint:errcheck // shutdown path; manifest replay recovers
+	})
 }
 
 // Close aborts everything immediately and waits for the pool to exit.
@@ -195,8 +248,7 @@ func (s *Server) Close() {
 
 func (s *Server) storageCfg() *vani.StorageConfig {
 	if s.cfg.Storage != nil {
-		cfg := *s.cfg.Storage
-		return &cfg
+		return s.cfg.Storage.Clone()
 	}
 	cfg := workloads.DefaultSpec().Storage
 	return &cfg
@@ -239,37 +291,77 @@ func (s *Server) spool(r io.Reader) (path, sha string, err error) {
 	return path, sha, nil
 }
 
-// admit spools and validates an upload and resolves its content address.
-// It answers the request itself (and returns ok=false) on bad input or a
-// cache hit.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) (path, sha, repID string, f trace.Filter, ok bool) {
+// admit stores and validates an upload and resolves its content address.
+// In repository mode the bytes land in the persistent sharded store and the
+// returned handle pins the backing file for the scan's lifetime; in legacy
+// mode they land in the throwaway spool (h is nil). admit answers the
+// request itself (and returns ok=false) on bad input or a cache hit.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (loc traceLoc, h *repo.Handle, repID string, f trace.Filter, ok bool) {
 	f, err := parseFilter(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return "", "", "", trace.Filter{}, false
+		return traceLoc{}, nil, "", trace.Filter{}, false
 	}
-	path, sha, err = s.spool(r.Body)
+	if s.repo != nil {
+		return s.admitRepo(w, r, f)
+	}
+	path, sha, err := s.spool(r.Body)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, fmt.Sprintf("spooling upload: %v", err))
-		return "", "", "", trace.Filter{}, false
+		return traceLoc{}, nil, "", trace.Filter{}, false
 	}
-	if _, err := trace.SniffFile(path); err != nil {
+	format, err := trace.SniffFile(path)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "unrecognized trace format (want VANITRC1 or VANITRC2)")
-		return "", "", "", trace.Filter{}, false
+		return traceLoc{}, nil, "", trace.Filter{}, false
 	}
 	repID = reportID(sha, f)
 	if _, hit := s.cache.Get(repID); hit {
 		s.metrics.CacheHits.Add(1)
 		writeJSON(w, http.StatusOK, jobStatus{ReportID: repID, Status: string(jobDone)})
-		return "", "", "", trace.Filter{}, false
+		return traceLoc{}, nil, "", trace.Filter{}, false
 	}
-	return path, sha, repID, f, true
+	loc = traceLoc{sha: sha, path: path, v2: format == trace.FormatV2}
+	return loc, nil, repID, f, true
+}
+
+// admitRepo is admit's repository-mode tail: the body goes through
+// Repo.Add (content-addressed, deduplicated, durable) and the trace's
+// current location — loose shard file or pack section — is pinned.
+func (s *Server) admitRepo(w http.ResponseWriter, r *http.Request, f trace.Filter) (loc traceLoc, h *repo.Handle, repID string, _ trace.Filter, ok bool) {
+	sha, _, err := s.repo.Add(r.Body)
+	if err != nil {
+		if errors.Is(err, repo.ErrNotTrace) {
+			httpError(w, http.StatusBadRequest, "unrecognized trace format (want VANITRC1 or VANITRC2)")
+		} else {
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("storing upload: %v", err))
+		}
+		return traceLoc{}, nil, "", trace.Filter{}, false
+	}
+	repID = reportID(sha, f)
+	if _, hit := s.cache.Get(repID); hit {
+		s.metrics.CacheHits.Add(1)
+		writeJSON(w, http.StatusOK, jobStatus{ReportID: repID, Status: string(jobDone)})
+		return traceLoc{}, nil, "", trace.Filter{}, false
+	}
+	h, err = s.repo.Acquire(sha)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("pinning stored trace: %v", err))
+		return traceLoc{}, nil, "", trace.Filter{}, false
+	}
+	loc = traceLoc{sha: sha, path: h.Path(), off: h.Off(), size: h.Size(), v2: h.Packed()}
+	if !loc.v2 {
+		if format, err := trace.SniffFile(loc.path); err == nil && format == trace.FormatV2 {
+			loc.v2 = true
+		}
+	}
+	return loc, h, repID, f, true
 }
 
 // handleUpload is POST /v1/traces: spool, dedupe against the cache and
 // in-flight jobs, then enqueue with backpressure.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	path, sha, repID, f, ok := s.admit(w, r)
+	loc, h, repID, f, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
@@ -278,6 +370,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		releaseHandle(h)
 		httpError(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	}
@@ -285,14 +378,15 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// doing the work twice.
 	if j, inflight := s.jobByReport[repID]; inflight {
 		s.mu.Unlock()
+		releaseHandle(h)
 		writeJSON(w, http.StatusAccepted, j.status())
 		return
 	}
 	j := &job{
 		id:       fmt.Sprintf("j%08d", s.seq.Add(1)),
 		reportID: repID,
-		traceSHA: sha,
-		path:     path,
+		loc:      loc,
+		handle:   h,
 		filter:   f,
 		state:    jobQueued,
 		done:     make(chan struct{}),
@@ -301,6 +395,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
+		releaseHandle(h)
 		s.metrics.JobsRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "job queue full, retry later")
@@ -330,13 +425,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 // client that disconnects or times out aborts the scan mid-trace. Results
 // still land in the shared cache.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
-	path, sha, repID, f, ok := s.admit(w, r)
+	loc, h, repID, f, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
+	defer releaseHandle(h)
 	s.metrics.CacheMisses.Add(1)
 	s.metrics.JobsRunning.Add(1)
-	rep, sc, err := s.characterize(r.Context(), path, sha, f, repID)
+	rep, sc, err := s.characterize(r.Context(), loc, f, repID)
 	s.metrics.JobsRunning.Add(-1)
 	if err != nil {
 		s.metrics.JobsFailed.Add(1)
@@ -397,7 +493,89 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	if s.repo != nil {
+		st := s.repo.Stats()
+		snap.RepoShards = st.Shards
+		snap.RepoFiles = st.Files
+		snap.RepoCompactions = st.Compactions
+		snap.RepoBytes = st.Bytes
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleFleet is GET /fleet/query: every stored characterization of one
+// workload reduced into a cross-trace aggregate. The reduction order is
+// fixed (traces sorted by content hash), so the YAML is byte-identical
+// regardless of upload order, shard layout, compaction state, or the par
+// query parameter.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	f, err := parseFilter(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q := repo.Query{Workload: r.URL.Query().Get("workload"), Filter: f}
+	if p := r.URL.Query().Get("par"); p != "" {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "par: want a non-negative integer")
+			return
+		}
+		q.Parallelism = n
+	}
+	rep, err := s.repo.FleetQuery(r.Context(), q, s.fleetChar())
+	if err != nil {
+		if trace.IsCtxErr(err) {
+			httpError(w, 499, "request canceled")
+			return
+		}
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if wantsJSON(r) {
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	w.Header().Set("Content-Type", "application/yaml")
+	w.WriteHeader(http.StatusOK)
+	w.Write(rep.YAML()) //nolint:errcheck // best-effort response body
+}
+
+// fleetChar characterizes one repository trace for a fleet query, reusing
+// the shared decoded-block cache so traces hot from single-trace jobs
+// decode zero blocks here. Per-trace analyzer parallelism stays 1 — the
+// fleet query already fans out across traces.
+func (s *Server) fleetChar() repo.CharFunc {
+	return func(ctx context.Context, h *repo.Handle, f trace.Filter) (*vani.Characterization, error) {
+		opt := vani.DefaultAnalyzerOptions()
+		opt.Storage = s.storageCfg()
+		opt.Parallelism = 1
+		opt.Filter = f
+		loc := traceLoc{sha: h.SHA(), path: h.Path(), off: h.Off(), size: h.Size(), v2: h.Packed()}
+		if !loc.v2 {
+			if format, err := trace.SniffFile(loc.path); err == nil && format == trace.FormatV2 {
+				loc.v2 = true
+			}
+		}
+		return s.analyze(ctx, loc, opt)
+	}
+}
+
+// handleCompact is POST /v1/compact: one synchronous compaction pass (small
+// loose uploads merged into consolidated packs) followed by retention GC.
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	packed, err := s.repo.CompactNow()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("compacting: %v", err))
+		return
+	}
+	dropped, err := s.repo.GC()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("gc: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"packed": packed, "dropped": dropped})
 }
 
 // wantsJSON reports whether the Accept header prefers JSON over the

@@ -82,6 +82,36 @@ func Percentile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// FiveNum is a five-number positional summary (plus mean) of a sample —
+// the fleet-query aggregate shape: extremes, the median, and the p99
+// tail. All fields derive from Percentile over the same sorted copy, so
+// summaries of the same sample are identical however it was gathered.
+type FiveNum struct {
+	Min  float64
+	P50  float64
+	P99  float64
+	Max  float64
+	Mean float64
+}
+
+// FiveNumOf summarizes a sample. An empty sample yields a zero FiveNum.
+func FiveNumOf(xs []float64) FiveNum {
+	if len(xs) == 0 {
+		return FiveNum{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return FiveNum{
+		Min:  Percentile(xs, 0),
+		P50:  Percentile(xs, 50),
+		P99:  Percentile(xs, 99),
+		Max:  Percentile(xs, 100),
+		Mean: sum / float64(len(xs)),
+	}
+}
+
 // DistKind is a distribution-shape label used by the Data entity's "Data
 // dist" attribute (Table VI).
 type DistKind string

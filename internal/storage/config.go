@@ -81,6 +81,15 @@ type Config struct {
 	SharedBBDir  string // "" when the system has no shared burst buffer
 }
 
+// Clone returns a private copy of the model. Config is a flat value struct
+// (no pointers, slices, or maps), so the shallow copy is a full copy —
+// callers that hand a Config to a concurrent analyzer (vanid's jobs, fleet
+// queries) clone at the boundary so no two scans share one instance.
+func (c *Config) Clone() *Config {
+	cp := *c
+	return &cp
+}
+
 // Lassen returns the storage model calibrated against the paper's testbed
 // numbers: GPFS peaking at 64GB/s for a 32-node job (Table IX), node-local
 // storage at 32GB/s per node with 64 parallel ops (Table VIII), and

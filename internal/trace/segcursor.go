@@ -203,9 +203,13 @@ func (sc *SegCursor) Runs() []Run {
 
 // AppendRuns appends the segment's value runs to dst: RLE runs verbatim,
 // dictionary segments as adjacent equal codes coalesced through the
-// dictionary, and constant FOR segments (packed at width 0 — how the cost
-// model stores single-valued columns like App) as one run covering every
-// row. Non-constant FOR segments have no run structure and append nothing.
+// dictionary, and FOR segments as adjacent equal base+offset values
+// coalesced from the packed stream (width 0 — how the cost model stores
+// single-valued columns like App — is one run covering every row). A FOR
+// segment over a run-structured column (the cost model prefers FOR when
+// the value range is tight, not only when values vary per row) thus
+// serves the run kernels just like RLE and dict do; pathological
+// high-cardinality cases are bounded by the callers' density caps.
 func (sc *SegCursor) AppendRuns(dst []Run) []Run {
 	switch sc.codec {
 	case segRLE:
@@ -213,6 +217,26 @@ func (sc *SegCursor) AppendRuns(dst []Run) []Run {
 	case segFOR:
 		if sc.width == 0 {
 			return append(dst, Run{Val: sc.base, N: int32(sc.n)})
+		}
+		b := uint64(sc.base)
+		var cur uint64
+		var run int32
+		first := true
+		unpackEach(sc.packed, sc.n, sc.width, func(u uint64) bool {
+			if first {
+				cur, run, first = u, 1, false
+				return true
+			}
+			if u == cur {
+				run++
+				return true
+			}
+			dst = append(dst, Run{Val: int64(b + cur), N: run})
+			cur, run = u, 1
+			return true
+		})
+		if !first {
+			dst = append(dst, Run{Val: int64(b + cur), N: run})
 		}
 	case segDict:
 		var cur uint64
@@ -369,9 +393,9 @@ func (bd *BlockData) SegCursorAt(col int) (*SegCursor, error) {
 }
 
 // ValueRuns returns the value-run summary of a column in the compressed
-// domain: RLE runs directly, dictionary segments as coalesced code runs. It
-// returns (nil, nil) for columns without run structure (raw or FOR codecs,
-// Start/End, non-v2.2 blocks). A superset of DecodeRuns.
+// domain: RLE runs directly, dictionary and FOR segments as coalesced
+// value runs. It returns (nil, nil) for columns without run structure
+// (raw codec, Start/End, non-v2.2 blocks). A superset of DecodeRuns.
 func (bd *BlockData) ValueRuns(col int) ([]Run, error) {
 	cur, err := bd.SegCursorAt(col)
 	if err != nil || cur == nil {
@@ -380,7 +404,7 @@ func (bd *BlockData) ValueRuns(col int) ([]Run, error) {
 	switch cur.codec {
 	case segRLE:
 		return cur.runs, nil
-	case segDict:
+	case segDict, segFOR:
 		return cur.AppendRuns(nil), nil
 	}
 	return nil, nil

@@ -18,11 +18,12 @@
 # allowed with BENCH_ALLOW_SINGLE_CORE=1.
 #
 # After writing the record, the compressed-domain MB/s figures are compared
-# against the committed BENCH_PR6.json baseline; a loss of more than 15% on
-# either arm fails the run. Set BENCH_SKIP_REGRESSION=1 to record anyway.
+# against the committed BENCH_PR6.json baseline and the grouped-execution
+# figures against BENCH_PR7.json; a loss of more than 15% on either arm of
+# either bench fails the run. Set BENCH_SKIP_REGRESSION=1 to record anyway.
 set -eu
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 cd "$(dirname "$0")/.."
 
 ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
@@ -63,4 +64,8 @@ echo "wrote $out"
 if [ "${BENCH_SKIP_REGRESSION:-0}" != "1" ] && [ -f BENCH_PR6.json ] && [ "$out" != "BENCH_PR6.json" ]; then
     echo "== regression guard: BenchmarkCompressedDomain vs BENCH_PR6.json =="
     go run ./scripts/benchcmp BENCH_PR6.json "$out"
+fi
+if [ "${BENCH_SKIP_REGRESSION:-0}" != "1" ] && [ -f BENCH_PR7.json ] && [ "$out" != "BENCH_PR7.json" ]; then
+    echo "== regression guard: BenchmarkGroupedAgg vs BENCH_PR7.json =="
+    go run ./scripts/benchcmp -prefix BenchmarkGroupedAgg BENCH_PR7.json "$out"
 fi

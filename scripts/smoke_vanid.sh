@@ -135,4 +135,125 @@ echo "== graceful shutdown =="
 kill -TERM "$VANID_PID"
 wait "$VANID_PID"
 VANID_PID=""
+
+# ---------------------------------------------------------------------------
+# Repository smoke: boot with -data-dir, store a small fleet, restart, force
+# compaction — the fleet YAML must be byte-identical at every point, the
+# compactor must measurably shrink the repo, and the read-only CLI must
+# reproduce the service's answer.
+# ---------------------------------------------------------------------------
+
+poll_job() { # poll_job <base> <job-id>
+  local st=""
+  for i in $(seq 1 200); do
+    st="$(curl -fsS "$1/v1/jobs/$2" | sed -n 's/.*"status": *"\([^"]*\)".*/\1/p')"
+    case "$st" in
+      done) return 0 ;;
+      failed) echo "job $2 failed"; return 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "job $2 did not finish: $st"; return 1
+}
+
+repo_gauge() { # repo_gauge <metrics-json> <name>
+  printf '%s' "$1" | sed -n "s/.*\"$2\": *\([0-9]*\).*/\1/p"
+}
+
+echo "== generating two more hacc traces for the fleet =="
+"$WORK/wrun" -w hacc -nodes 4 -scale 0.1 -o "$WORK/trace2.trc" >/dev/null
+"$WORK/wrun" -w hacc -nodes 2 -scale 0.1 -o "$WORK/trace3.trc" >/dev/null
+
+echo "== starting vanid with a persistent repository =="
+rm -f "$WORK/addr"
+"$WORK/vanid" -addr 127.0.0.1:0 -addr-file "$WORK/addr" -workers 2 \
+  -data-dir "$WORK/repo" &
+VANID_PID=$!
+for i in $(seq 1 100); do
+  [ -s "$WORK/addr" ] && break
+  kill -0 "$VANID_PID" 2>/dev/null || { echo "vanid died during startup"; exit 1; }
+  sleep 0.1
+done
+BASE="http://$(cat "$WORK/addr" | tr -d '[:space:]')"
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "== uploading the three-trace fleet =="
+for trc in trace trace2 trace3; do
+  RESP="$(curl -fsS --data-binary @"$WORK/$trc.trc" "$BASE/v1/traces")"
+  JID="$(printf '%s' "$RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+  [ -n "$JID" ] || { echo "no job id uploading $trc"; exit 1; }
+  poll_job "$BASE" "$JID"
+done
+
+METRICS_REPO="$(curl -fsS "$BASE/metrics")"
+REPO_FILES="$(repo_gauge "$METRICS_REPO" repo_files)"
+REPO_SHARDS="$(repo_gauge "$METRICS_REPO" repo_shards)"
+REPO_BYTES_LOOSE="$(repo_gauge "$METRICS_REPO" repo_bytes)"
+[ "${REPO_FILES:-0}" -eq 3 ] || { echo "FAIL: repo_files=$REPO_FILES, want 3"; exit 1; }
+[ "${REPO_SHARDS:-0}" -ge 1 ] || { echo "FAIL: repo_shards=$REPO_SHARDS, want >= 1"; exit 1; }
+
+echo "== fleet query (pre-restart) =="
+curl -fsS "$BASE/fleet/query?workload=hacc" -o "$WORK/fleet1.yaml"
+[ -s "$WORK/fleet1.yaml" ] || { echo "FAIL: empty fleet report"; exit 1; }
+
+echo "== restarting vanid on the same data dir =="
+kill -TERM "$VANID_PID"; wait "$VANID_PID"; VANID_PID=""
+rm -f "$WORK/addr"
+"$WORK/vanid" -addr 127.0.0.1:0 -addr-file "$WORK/addr" -workers 2 \
+  -data-dir "$WORK/repo" &
+VANID_PID=$!
+for i in $(seq 1 100); do
+  [ -s "$WORK/addr" ] && break
+  kill -0 "$VANID_PID" 2>/dev/null || { echo "vanid died on restart"; exit 1; }
+  sleep 0.1
+done
+BASE="http://$(cat "$WORK/addr" | tr -d '[:space:]')"
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+curl -fsS "$BASE/fleet/query?workload=hacc" -o "$WORK/fleet2.yaml"
+cmp "$WORK/fleet1.yaml" "$WORK/fleet2.yaml" || {
+  echo "FAIL: restart changed the fleet report"
+  diff "$WORK/fleet1.yaml" "$WORK/fleet2.yaml" | head -20
+  exit 1
+}
+echo "fleet report survived the restart byte-identically"
+
+echo "== forcing compaction =="
+curl -fsS -X POST "$BASE/v1/compact"
+METRICS_PACKED="$(curl -fsS "$BASE/metrics")"
+COMPACTIONS="$(repo_gauge "$METRICS_PACKED" repo_compactions)"
+REPO_BYTES_PACKED="$(repo_gauge "$METRICS_PACKED" repo_bytes)"
+[ "${COMPACTIONS:-0}" -ge 1 ] || { echo "FAIL: repo_compactions=$COMPACTIONS, want >= 1"; exit 1; }
+[ "${REPO_BYTES_PACKED:-0}" -lt "${REPO_BYTES_LOOSE:-0}" ] || {
+  echo "FAIL: compaction did not shrink the repo ($REPO_BYTES_LOOSE -> $REPO_BYTES_PACKED bytes)"; exit 1
+}
+echo "compaction shrank the repo: $REPO_BYTES_LOOSE -> $REPO_BYTES_PACKED bytes"
+
+curl -fsS "$BASE/fleet/query?workload=hacc" -o "$WORK/fleet3.yaml"
+cmp "$WORK/fleet1.yaml" "$WORK/fleet3.yaml" || {
+  echo "FAIL: compaction changed the fleet report"
+  diff "$WORK/fleet1.yaml" "$WORK/fleet3.yaml" | head -20
+  exit 1
+}
+echo "fleet report unchanged across compaction"
+
+echo "== read-only CLI fleet query against the live data dir =="
+"$WORK/vani" fleet -repo "$WORK/repo" -workload hacc -tables=false \
+  -yaml "$WORK/fleet_cli.yaml" >/dev/null
+cmp "$WORK/fleet1.yaml" "$WORK/fleet_cli.yaml" || {
+  echo "FAIL: vani fleet differs from the served report"
+  diff "$WORK/fleet1.yaml" "$WORK/fleet_cli.yaml" | head -20
+  exit 1
+}
+echo "vani fleet matches the service byte-for-byte"
+
+kill -TERM "$VANID_PID"
+wait "$VANID_PID"
+VANID_PID=""
 echo "SMOKE OK"

@@ -24,9 +24,9 @@ import (
 	"time"
 
 	"vani/internal/advisor"
-	"vani/internal/colstore"
 	"vani/internal/core"
 	"vani/internal/iface"
+	"vani/internal/pipeline"
 	"vani/internal/replay"
 	"vani/internal/sim"
 	"vani/internal/storage"
@@ -172,80 +172,7 @@ func CharacterizeContext(ctx context.Context, res *Result, opt AnalyzerOptions) 
 // stops decoding mid-trace instead of running the log to completion. The
 // returned error is ctx.Err() when the abort was a cancellation.
 func CharacterizeFileContext(ctx context.Context, path string, opt AnalyzerOptions) (*Characterization, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-
-	var head [8]byte
-	if _, err := io.ReadFull(f, head[:]); err != nil {
-		return nil, fmt.Errorf("reading %s: %w", path, trace.ErrBadFormat)
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
-	}
-	if format, ok := trace.SniffMagic(head[:]); ok && format == trace.FormatV2 {
-		info, err := f.Stat()
-		if err != nil {
-			return nil, err
-		}
-		br, err := trace.NewBlockReader(trace.ReaderAtContext(ctx, f), info.Size())
-		if err != nil {
-			return nil, wrapReadErr(path, err)
-		}
-		c, err := CharacterizeBlocksContext(ctx, br, opt)
-		if err != nil {
-			return nil, wrapReadErr(path, err)
-		}
-		return c, nil
-	}
-
-	sc, err := trace.NewScanner(f)
-	if err != nil {
-		return nil, fmt.Errorf("reading %s: %w", path, err)
-	}
-	t0 := time.Now()
-	b := colstore.NewBuilder()
-	buf := make([]trace.Event, 8192)
-	m := opt.Filter.NewMatcher()
-	filtered := !opt.Filter.Empty()
-	var rowsTotal int64
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		n, err := sc.Next(buf)
-		if filtered {
-			for i := range buf[:n] {
-				if m.MatchEvent(&buf[i]) {
-					b.Append(&buf[i])
-				}
-			}
-		} else {
-			b.AppendEvents(buf[:n])
-		}
-		rowsTotal += int64(n)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("reading %s: %w", path, err)
-		}
-	}
-	tb := b.Finish()
-	if opt.Stats != nil {
-		opt.Stats.Columnarize = time.Since(t0)
-		opt.Stats.Scan = colstore.ScanCounters{
-			RowsTotal: rowsTotal,
-			RowsKept:  int64(tb.Len()),
-		}
-	}
-	c, err := core.AnalyzeTableContext(ctx, sc.Header(), tb, opt)
-	if err != nil {
-		return nil, wrapReadErr(path, err)
-	}
-	return c, nil
+	return pipeline.File(ctx, path, opt)
 }
 
 // CharacterizeBlocksContext analyzes a VANITRC2 block source — a
@@ -257,36 +184,7 @@ func CharacterizeFileContext(ctx context.Context, path string, opt AnalyzerOptio
 // The characterization is byte-identical to CharacterizeFileContext over
 // the same log.
 func CharacterizeBlocksContext(ctx context.Context, src trace.BlockSource, opt AnalyzerOptions) (*Characterization, error) {
-	t0 := time.Now()
-	stats := &colstore.ScanStats{}
-	spec := colstore.ScanSpec{Filter: opt.Filter}
-	tb, err := colstore.FromBlocksSpecContext(ctx, src, opt.Parallelism, spec, stats)
-	if err != nil {
-		return nil, err
-	}
-	if opt.Stats != nil {
-		opt.Stats.Columnarize = time.Since(t0)
-	}
-	c, err := core.AnalyzeTableContext(ctx, src.Header(), tb, opt)
-	if err != nil {
-		return nil, err
-	}
-	// Snapshot after analysis: lazily materialized columns add their
-	// decoded bytes during the kernels' Require calls.
-	if opt.Stats != nil {
-		opt.Stats.Scan = stats.Snapshot()
-	}
-	return c, nil
-}
-
-// wrapReadErr attributes a read-path failure to its file, but leaves
-// cancellation errors bare so errors.Is(err, context.Canceled) holds for
-// callers that gave up on purpose.
-func wrapReadErr(path string, err error) error {
-	if trace.IsCtxErr(err) {
-		return err
-	}
-	return fmt.Errorf("reading %s: %w", path, err)
+	return pipeline.Blocks(ctx, src, opt)
 }
 
 // Advise maps a characterization to storage-configuration recommendations
