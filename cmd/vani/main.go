@@ -26,6 +26,10 @@ func main() {
 		fleetMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepMain(os.Args[2:])
+		return
+	}
 	traceFile := flag.String("t", "", "trace file to analyze (required)")
 	tables := flag.Bool("tables", true, "render the entity tables")
 	figure := flag.Bool("figure", false, "render the figure panels")

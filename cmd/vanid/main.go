@@ -41,6 +41,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persistent trace repository root: uploads survive restarts and /fleet/query is served")
 	compactEvery := flag.Duration("compact-every", 0, "background repository compaction period (0 disables; POST /v1/compact always works)")
 	retainAge := flag.Duration("retain-age", 0, "drop stored traces older than this during repository GC (0 keeps everything)")
+	retainCount := flag.Int("retain-count", 0, "cap stored traces at this many, dropping the oldest during repository GC (0 = no cap)")
+	retainBytes := flag.Int64("retain-bytes", 0, "cap stored traces' total bytes, dropping the oldest during repository GC (0 = no cap)")
 	par := flag.Int("parallelism", 0, "per-job analyzer parallelism (0 = GOMAXPROCS)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-block cache budget in bytes (0 = 256 MiB default, negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown before aborting them")
@@ -55,6 +57,8 @@ func main() {
 		DataDir:      *dataDir,
 		CompactEvery: *compactEvery,
 		RetainAge:    *retainAge,
+		RetainCount:  *retainCount,
+		RetainBytes:  *retainBytes,
 		Parallelism:  *par,
 		CacheBytes:   *cacheBytes,
 		EnablePprof:  *pprofOn,

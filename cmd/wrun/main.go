@@ -4,6 +4,7 @@
 //
 //	wrun -w cosmoflow -nodes 32 -scale 0.1 -o cosmoflow.trc
 //	wrun -w montage-mpi -optimized          # Section V-B reconfiguration
+//	wrun -spec my-workload.yaml -o my.trc   # declarative spec (internal/spec)
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 func main() {
 	name := flag.String("w", "", "workload: "+strings.Join(vani.Workloads(), ", "))
+	specFile := flag.String("spec", "", "declarative workload spec file (YAML or JSON) instead of -w")
 	nodes := flag.Int("nodes", 32, "nodes")
 	ranksPerNode := flag.Int("rpn", 0, "ranks per node (0 = workload default)")
 	scale := flag.Float64("scale", 0.1, "fraction of paper scale (1.0 = full)")
@@ -49,15 +51,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *name == "" {
-		fmt.Fprintln(os.Stderr, "usage: wrun -w <workload> [flags]; workloads:",
+	if (*name == "") == (*specFile == "") {
+		fmt.Fprintln(os.Stderr, "usage: wrun -w <workload> | -spec <file> [flags]; workloads:",
 			strings.Join(vani.Workloads(), ", "))
 		os.Exit(2)
 	}
-	w, err := vani.New(*name)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var w vani.Workload
+	if *specFile != "" {
+		doc, err := vani.ParseSpecFile(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w = doc.Compile()
+	} else {
+		var err error
+		w, err = vani.New(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	spec := w.DefaultSpec()
 	spec.Nodes = *nodes

@@ -146,24 +146,55 @@ func (r *Repo) packShard(members []*Entry) (int, error) {
 	return len(members), nil
 }
 
-// GC drops traces older than RetainAge. Backing files shared with
-// pinned scans are removed at the last release. Returns the number of
-// traces dropped.
+// GC enforces the retention policy: traces older than RetainAge go
+// first, then the oldest survivors (upload time, SHA tie-break) until
+// RetainCount and RetainBytes are both satisfied. Backing files shared
+// with pinned scans are removed at the last release. Returns the number
+// of traces dropped.
 func (r *Repo) GC() (int, error) {
 	if r.opt.ReadOnly {
 		return 0, ErrReadOnly
 	}
-	if r.opt.RetainAge <= 0 {
+	if r.opt.RetainAge <= 0 && r.opt.RetainCount <= 0 && r.opt.RetainBytes <= 0 {
 		return 0, nil
 	}
-	cutoff := r.now().UTC().Add(-r.opt.RetainAge).Unix()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var doomed []string
-	for sha, e := range r.entries {
-		if e.Added < cutoff {
-			doomed = append(doomed, sha)
+	drop := make(map[string]bool)
+	if r.opt.RetainAge > 0 {
+		cutoff := r.now().UTC().Add(-r.opt.RetainAge).Unix()
+		for sha, e := range r.entries {
+			if e.Added < cutoff {
+				drop[sha] = true
+			}
 		}
+	}
+	if r.opt.RetainCount > 0 || r.opt.RetainBytes > 0 {
+		live := make([]*Entry, 0, len(r.entries))
+		var total int64
+		for sha, e := range r.entries {
+			if !drop[sha] {
+				live = append(live, e)
+				total += e.Size
+			}
+		}
+		sort.Slice(live, func(i, j int) bool {
+			if live[i].Added != live[j].Added {
+				return live[i].Added < live[j].Added
+			}
+			return live[i].SHA < live[j].SHA
+		})
+		for len(live) > 0 &&
+			((r.opt.RetainCount > 0 && len(live) > r.opt.RetainCount) ||
+				(r.opt.RetainBytes > 0 && total > r.opt.RetainBytes)) {
+			drop[live[0].SHA] = true
+			total -= live[0].Size
+			live = live[1:]
+		}
+	}
+	doomed := make([]string, 0, len(drop))
+	for sha := range drop {
+		doomed = append(doomed, sha)
 	}
 	sort.Strings(doomed)
 	for _, sha := range doomed {

@@ -59,6 +59,12 @@ type Options struct {
 	// RetainAge drops traces older than this (by upload time) during GC.
 	// Zero keeps everything.
 	RetainAge time.Duration
+	// RetainCount caps the number of stored traces: GC drops the oldest
+	// (by upload time, SHA tie-break) beyond it. Zero means no cap.
+	RetainCount int
+	// RetainBytes caps the stored traces' total backing size the same
+	// way. Zero means no cap.
+	RetainBytes int64
 	// ReadOnly opens the repository for queries only: no manifest writes,
 	// no adoption of orphans, no compactor. Suitable for `vani fleet`
 	// pointed at a live daemon's data dir.

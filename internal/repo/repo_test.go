@@ -338,3 +338,80 @@ func TestHandlePinsDoomedFile(t *testing.T) {
 		t.Fatalf("Acquire after GC = %v, want ErrNotFound", err)
 	}
 }
+
+// TestGCRetainCount caps the store at N traces, dropping the oldest by
+// upload time (SHA tie-break inside one instant).
+func TestGCRetainCount(t *testing.T) {
+	cur := time.Unix(1700000000, 0)
+	r, err := Open(t.TempDir(), Options{
+		RetainCount: 2,
+		Now:         func() time.Time { return cur },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	oldest := mustAdd(t, r, traceBytes(t, "hacc", 400))
+	cur = cur.Add(time.Hour)
+	mid := mustAdd(t, r, traceBytes(t, "hacc", 900))
+	cur = cur.Add(time.Hour)
+	newest := mustAdd(t, r, traceBytes(t, "hacc", 1600))
+
+	dropped, err := r.GC()
+	if err != nil || dropped != 1 {
+		t.Fatalf("GC = %d, %v; want 1 dropped", dropped, err)
+	}
+	shas := r.List("")
+	if len(shas) != 2 {
+		t.Fatalf("List after GC = %v, want 2 entries", shas)
+	}
+	for _, sha := range shas {
+		if sha == oldest {
+			t.Errorf("oldest trace %s survived a RetainCount GC over %s/%s", oldest, mid, newest)
+		}
+	}
+	// Under the cap now: a second GC is a no-op.
+	if n, err := r.GC(); err != nil || n != 0 {
+		t.Fatalf("second GC = %d, %v; want 0", n, err)
+	}
+}
+
+// TestGCRetainBytes caps total stored bytes, again oldest-first, and
+// composes with RetainAge (age pass runs first).
+func TestGCRetainBytes(t *testing.T) {
+	cur := time.Unix(1700000000, 0)
+	r, err := Open(t.TempDir(), Options{
+		RetainAge:   24 * time.Hour,
+		RetainBytes: 1, // every byte over budget: only dropping to one trace can't satisfy it either
+		Now:         func() time.Time { return cur },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	mustAdd(t, r, traceBytes(t, "hacc", 400))
+	cur = cur.Add(time.Hour)
+	mustAdd(t, r, traceBytes(t, "hacc", 900))
+
+	// Budget of one byte: everything must go, oldest first.
+	dropped, err := r.GC()
+	if err != nil || dropped != 2 {
+		t.Fatalf("GC = %d, %v; want 2 dropped", dropped, err)
+	}
+	if shas := r.List(""); len(shas) != 0 {
+		t.Fatalf("List after GC = %v, want empty", shas)
+	}
+
+	// A generous budget keeps everything.
+	r2, err := Open(t.TempDir(), Options{RetainBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	mustAdd(t, r2, traceBytes(t, "hacc", 400))
+	if n, err := r2.GC(); err != nil || n != 0 {
+		t.Fatalf("GC under budget = %d, %v; want 0", n, err)
+	}
+}

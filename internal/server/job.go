@@ -42,17 +42,21 @@ const (
 	jobFailed  jobState = "failed"
 )
 
-// job is one queued characterization: a stored trace plus a filter spec.
+// job is one queued unit of work: a characterization (a stored trace plus
+// a filter spec) or a what-if sweep (a parsed sweep document).
 type job struct {
 	id       string
 	reportID string
 	loc      traceLoc
 	handle   *repo.Handle // repo mode: pins the backing file; nil on spool
 	filter   trace.Filter
+	sweep    *vani.Sweep // non-nil: this job runs a sweep, not a characterization
 
-	mu    sync.Mutex
-	state jobState
-	errs  string
+	mu          sync.Mutex
+	state       jobState
+	errs        string
+	pointsDone  int // sweep progress: grid points finished
+	pointsTotal int // sweep progress: grid size (0 for characterizations)
 
 	done chan struct{} // closed when the job reaches done or failed
 }
@@ -74,19 +78,33 @@ func (j *job) setState(st jobState, errMsg string) {
 	j.mu.Unlock()
 }
 
+// setProgress records how many sweep points have finished.
+func (j *job) setProgress(done int) {
+	j.mu.Lock()
+	j.pointsDone = done
+	j.mu.Unlock()
+}
+
 // status snapshots the job for the API.
 func (j *job) status() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobStatus{ID: j.id, ReportID: j.reportID, Status: string(j.state), Error: j.errs}
+	return jobStatus{
+		ID: j.id, ReportID: j.reportID, Status: string(j.state), Error: j.errs,
+		PointsDone: j.pointsDone, PointsTotal: j.pointsTotal,
+	}
 }
 
 // jobStatus is the JSON shape of GET /v1/jobs/{id} and the upload response.
+// PointsDone/PointsTotal carry sweep progress and are omitted for
+// characterization jobs.
 type jobStatus struct {
-	ID       string `json:"id,omitempty"`
-	ReportID string `json:"report_id"`
-	Status   string `json:"status"`
-	Error    string `json:"error,omitempty"`
+	ID          string `json:"id,omitempty"`
+	ReportID    string `json:"report_id"`
+	Status      string `json:"status"`
+	Error       string `json:"error,omitempty"`
+	PointsDone  int    `json:"points_done,omitempty"`
+	PointsTotal int    `json:"points_total,omitempty"`
 }
 
 // worker drains the queue until it is closed (graceful drain) or the base
@@ -98,8 +116,12 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob characterizes one stored trace and publishes the report.
+// runJob executes one queued unit of work and publishes its report.
 func (s *Server) runJob(j *job) {
+	if j.sweep != nil {
+		s.runSweepJob(j)
+		return
+	}
 	defer j.releaseHandle()
 	if s.beforeJob != nil {
 		s.beforeJob() // test hook: hold workers to fill the queue

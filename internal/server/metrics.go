@@ -23,6 +23,11 @@ type Metrics struct {
 	CacheHits    atomic.Int64 // report served without analyzer work
 	CacheMisses  atomic.Int64 // upload that had to run the analyzer
 
+	// What-if sweep jobs (POST /v1/sweep).
+	SweepJobs      atomic.Int64 // sweep jobs accepted onto the queue
+	SweepRuns      atomic.Int64 // grid points simulated across sweep jobs
+	SweepCacheHits atomic.Int64 // sweep reports served from cache by spec hash
+
 	// Scan-plan totals summed over completed jobs (core.Timings.Scan).
 	ScanBlocksTotal  atomic.Int64
 	ScanBlocksPruned atomic.Int64
@@ -91,6 +96,10 @@ type MetricsSnapshot struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 
+	SweepJobs      int64 `json:"sweep_jobs"`
+	SweepRuns      int64 `json:"sweep_runs"`
+	SweepCacheHits int64 `json:"sweep_cache_hits"`
+
 	ScanBlocksTotal  int64 `json:"scan_blocks_total"`
 	ScanBlocksPruned int64 `json:"scan_blocks_pruned"`
 	ScanRowsTotal    int64 `json:"scan_rows_total"`
@@ -135,6 +144,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		JobsRejected: m.JobsRejected.Load(),
 		CacheHits:    m.CacheHits.Load(),
 		CacheMisses:  m.CacheMisses.Load(),
+
+		SweepJobs:      m.SweepJobs.Load(),
+		SweepRuns:      m.SweepRuns.Load(),
+		SweepCacheHits: m.SweepCacheHits.Load(),
 
 		ScanBlocksTotal:  m.ScanBlocksTotal.Load(),
 		ScanBlocksPruned: m.ScanBlocksPruned.Load(),

@@ -63,6 +63,12 @@ type Config struct {
 	// RetainAge drops stored traces older than this during repository GC
 	// (0 keeps everything). Only meaningful with DataDir.
 	RetainAge time.Duration
+	// RetainCount caps the number of stored traces; GC drops the oldest
+	// beyond it (0 = no cap). Only meaningful with DataDir.
+	RetainCount int
+	// RetainBytes caps the stored traces' total bytes the same way
+	// (0 = no cap). Only meaningful with DataDir.
+	RetainBytes int64
 	// Storage is the storage model handed to the analyzer; nil means the
 	// same default cmd/vani uses, keeping reports byte-identical across
 	// the CLI and the service.
@@ -158,6 +164,8 @@ func New(cfg Config) (*Server, error) {
 		rp, err := repo.Open(cfg.DataDir, repo.Options{
 			CompactEvery: cfg.CompactEvery,
 			RetainAge:    cfg.RetainAge,
+			RetainCount:  cfg.RetainCount,
+			RetainBytes:  cfg.RetainBytes,
 		})
 		if err != nil {
 			cancel()
@@ -168,6 +176,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
 	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/reports/{id}", s.handleReport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

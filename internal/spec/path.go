@@ -1,0 +1,147 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+const maxPathLen = 1024
+
+// pathT is a compiled path template: literal segments interleaved with
+// `${expr}` substitutions, optionally zero-padded (`${rank:04}`), and an
+// optional leading `@dir/` reference resolved against the spec's dirs
+// (which pick their optimized variant per run).
+type pathT struct {
+	src  string
+	dir  string // "" when the path is absolute
+	segs []pathSeg
+}
+
+type pathSeg struct {
+	lit string // literal text when expr is nil
+	e   *expr
+	pad int // zero-pad width, 0 = none
+}
+
+// parsePath compiles a path template. Dir templates themselves may not
+// reference other dirs.
+func parsePath(src string, allowDir bool) (*pathT, error) {
+	if src == "" {
+		return nil, fmt.Errorf("empty path")
+	}
+	if len(src) > maxPathLen {
+		return nil, fmt.Errorf("path longer than %d bytes", maxPathLen)
+	}
+	t := &pathT{src: src}
+	rest := src
+	if strings.HasPrefix(rest, "@") {
+		if !allowDir {
+			return nil, fmt.Errorf("path %q: dir reference not allowed here", src)
+		}
+		name := rest[1:]
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			rest = name[i:]
+			name = name[:i]
+		} else {
+			rest = ""
+		}
+		if !identRe.MatchString(name) {
+			return nil, fmt.Errorf("path %q: bad dir reference %q", src, name)
+		}
+		t.dir = name
+	}
+	for len(rest) > 0 {
+		i := strings.Index(rest, "${")
+		if i < 0 {
+			t.segs = append(t.segs, pathSeg{lit: rest})
+			break
+		}
+		if i > 0 {
+			t.segs = append(t.segs, pathSeg{lit: rest[:i]})
+		}
+		rest = rest[i+2:]
+		j := strings.IndexByte(rest, '}')
+		if j < 0 {
+			return nil, fmt.Errorf("path %q: unterminated ${", src)
+		}
+		seg, err := parsePathExpr(rest[:j])
+		if err != nil {
+			return nil, fmt.Errorf("path %q: %v", src, err)
+		}
+		t.segs = append(t.segs, seg)
+		rest = rest[j+1:]
+	}
+	return t, nil
+}
+
+// parsePathExpr splits an optional `:NN` zero-pad suffix off a
+// substitution body. The suffix is only taken when the prefix before the
+// last colon parses as an expression on its own, so ternaries keep their
+// colons.
+func parsePathExpr(body string) (pathSeg, error) {
+	if i := strings.LastIndexByte(body, ':'); i >= 0 {
+		digits := body[i+1:]
+		if allDigits(digits) && digits != "" {
+			if e, err := parseExpr(body[:i]); err == nil {
+				pad, err := strconv.Atoi(digits)
+				if err != nil || pad > 32 {
+					return pathSeg{}, fmt.Errorf("bad pad width %q", digits)
+				}
+				return pathSeg{e: e, pad: pad}, nil
+			}
+		}
+	}
+	e, err := parseExpr(body)
+	if err != nil {
+		return pathSeg{}, err
+	}
+	return pathSeg{e: e}, nil
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// idents calls f for every identifier the template references.
+func (t *pathT) idents(f func(string)) {
+	for _, s := range t.segs {
+		if s.e != nil {
+			s.e.idents(f)
+		}
+	}
+}
+
+// render evaluates the template. dirOf resolves a dir reference to its
+// already-rendered base path.
+func (t *pathT) render(env func(string) (int64, bool), dirOf func(string) (string, error)) (string, error) {
+	var b strings.Builder
+	if t.dir != "" {
+		base, err := dirOf(t.dir)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(base)
+	}
+	for _, s := range t.segs {
+		if s.e == nil {
+			b.WriteString(s.lit)
+			continue
+		}
+		v, err := s.e.eval(env)
+		if err != nil {
+			return "", fmt.Errorf("path %q: %v", t.src, err)
+		}
+		if s.pad > 0 {
+			b.WriteString(fmt.Sprintf("%0*d", s.pad, v))
+		} else {
+			b.WriteString(strconv.FormatInt(v, 10))
+		}
+	}
+	return b.String(), nil
+}

@@ -167,6 +167,14 @@ func scaleN(n int, s float64, min int) int {
 	return v
 }
 
+// ScaleN exposes the generators' count-scaling rule so external
+// compilers (internal/spec) shrink counts exactly like the hand-coded
+// generators do.
+func ScaleN(n int, s float64, min int) int { return scaleN(n, s, min) }
+
+// ScaleBytes exposes the generators' byte-scaling rule.
+func ScaleBytes(b int64, s float64, unit int64) int64 { return scaleBytes(b, s, unit) }
+
 // scaleBytes scales a byte volume, keeping at least one unit.
 func scaleBytes(b int64, s float64, unit int64) int64 {
 	v := int64(float64(b) * s)

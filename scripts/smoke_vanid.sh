@@ -131,6 +131,59 @@ PPROF_CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/")"
 }
 echo "pprof endpoints are absent without -pprof"
 
+echo "== what-if sweep: 2-point grid through the service vs the CLI =="
+cat > "$WORK/sweep.yaml" <<'SWEEP'
+version: 1
+name: smoke-sweep
+base:
+  nodes: 2
+  ranks_per_node: 2
+  scale: 0.01
+  seed: 1
+grid:
+  - param: staging
+    values:
+      - pfs
+      - node-local
+workload: cosmoflow
+SWEEP
+SWEEP_RESP="$(curl -fsS --data-binary @"$WORK/sweep.yaml" "$BASE/v1/sweep")"
+echo "$SWEEP_RESP"
+SWEEP_JOB="$(printf '%s' "$SWEEP_RESP" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+SWEEP_REPORT="$(printf '%s' "$SWEEP_RESP" | sed -n 's/.*"report_id": *"\([^"]*\)".*/\1/p')"
+[ -n "$SWEEP_JOB" ] || { echo "no job id in sweep response"; exit 1; }
+STATUS=""
+for i in $(seq 1 200); do
+  JOB="$(curl -fsS "$BASE/v1/jobs/$SWEEP_JOB")"
+  STATUS="$(printf '%s' "$JOB" | sed -n 's/.*"status": *"\([^"]*\)".*/\1/p')"
+  case "$STATUS" in
+    done) break ;;
+    failed) echo "sweep job failed: $JOB"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$STATUS" = "done" ] || { echo "sweep job did not finish: $STATUS"; exit 1; }
+curl -fsS "$BASE/v1/reports/$SWEEP_REPORT" -o "$WORK/sweep_http.yaml"
+"$WORK/vani" sweep -f "$WORK/sweep.yaml" -tables=false -yaml "$WORK/sweep_cli.yaml" >/dev/null
+cmp "$WORK/sweep_cli.yaml" "$WORK/sweep_http.yaml" || {
+  echo "FAIL: served sweep report differs from vani sweep output"
+  diff "$WORK/sweep_cli.yaml" "$WORK/sweep_http.yaml" | head -20
+  exit 1
+}
+echo "sweep reports are byte-identical"
+SWEEP_METRICS="$(curl -fsS "$BASE/metrics")"
+SWEEP_JOBS="$(printf '%s' "$SWEEP_METRICS" | sed -n 's/.*"sweep_jobs": *\([0-9]*\).*/\1/p')"
+SWEEP_RUNS="$(printf '%s' "$SWEEP_METRICS" | sed -n 's/.*"sweep_runs": *\([0-9]*\).*/\1/p')"
+[ "${SWEEP_JOBS:-0}" -eq 1 ] || { echo "FAIL: sweep_jobs=$SWEEP_JOBS, want 1"; exit 1; }
+[ "${SWEEP_RUNS:-0}" -eq 2 ] || { echo "FAIL: sweep_runs=$SWEEP_RUNS, want 2"; exit 1; }
+SWEEP_SECOND="$(curl -fsS --data-binary @"$WORK/sweep.yaml" "$BASE/v1/sweep")"
+printf '%s' "$SWEEP_SECOND" | grep -q '"status": *"done"' || {
+  echo "FAIL: resubmitted sweep was not served from cache: $SWEEP_SECOND"; exit 1
+}
+SWEEP_HITS="$(curl -fsS "$BASE/metrics" | sed -n 's/.*"sweep_cache_hits": *\([0-9]*\).*/\1/p')"
+[ "${SWEEP_HITS:-0}" -ge 1 ] || { echo "FAIL: no sweep cache hit recorded"; exit 1; }
+echo "resubmitted sweep served from cache"
+
 echo "== graceful shutdown =="
 kill -TERM "$VANID_PID"
 wait "$VANID_PID"

@@ -1,0 +1,56 @@
+package vani
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vani/internal/spec"
+)
+
+// TestGoldenSpecEquivalence is the spec DSL's contract: each golden spec
+// re-states a hand-coded generator, and the compiled workload's
+// characterization YAML is byte-identical to the generator's — baseline
+// and optimized, across seeds.
+func TestGoldenSpecEquivalence(t *testing.T) {
+	for _, name := range spec.GoldenNames() {
+		doc, err := spec.Golden(name)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		compiled := doc.Compile()
+		hand, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: no hand-coded generator: %v", name, err)
+		}
+		if got, want := compiled.Name(), hand.Name(); got != want {
+			t.Errorf("%s: Name() = %q, want %q", name, got, want)
+		}
+		if got, want := compiled.AppName(), hand.AppName(); got != want {
+			t.Errorf("%s: AppName() = %q, want %q", name, got, want)
+		}
+		if got, want := compiled.DefaultSpec(), hand.DefaultSpec(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: DefaultSpec() = %+v, want %+v", name, got, want)
+		}
+		for _, optimized := range []bool{false, true} {
+			for _, seed := range []int64{1, 2} {
+				sp := equivSpec(hand, seed)
+				sp.Optimized = optimized
+				hres, err := Run(hand, sp)
+				if err != nil {
+					t.Fatalf("%s optimized=%v seed=%d: hand run: %v", name, optimized, seed, err)
+				}
+				cres, err := Run(compiled, sp)
+				if err != nil {
+					t.Fatalf("%s optimized=%v seed=%d: spec run: %v", name, optimized, seed, err)
+				}
+				want := characterizeYAML(t, hres, 1)
+				got := characterizeYAML(t, cres, 1)
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s optimized=%v seed=%d: spec-compiled characterization differs from hand-coded (%d vs %d bytes)",
+						name, optimized, seed, len(got), len(want))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package vani
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSweepCaseStudy pins the automated CosmoFlow search (the Section
+// V-A / Figure 7 case study as a sweep): the winner stages data
+// node-local with an I/O speedup inside the paper's 2.2-4.6x band.
+func TestSweepCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep in -short mode")
+	}
+	sw, err := ParseSweepFile("examples/sweep-casestudy/casestudy.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.WorkloadName() != "cosmoflow" || sw.NumPoints() != 8 {
+		t.Fatalf("sweep = %s over %d points, want cosmoflow over 8", sw.WorkloadName(), sw.NumPoints())
+	}
+	rep, err := sw.Run(SweepOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staging := ""
+	for _, s := range rep.Winner.Config {
+		if s.Param == "staging" {
+			staging = s.Value
+		}
+	}
+	if staging != "node-local" {
+		t.Errorf("winner staging = %q, want node-local (config %v)", staging, rep.Winner.Config)
+	}
+	speedup, err := strconv.ParseFloat(strings.TrimSuffix(rep.Winner.IOSpeedup, "x"), 64)
+	if err != nil {
+		t.Fatalf("unparseable speedup %q: %v", rep.Winner.IOSpeedup, err)
+	}
+	if speedup < 2.2 || speedup > 4.6 {
+		t.Errorf("I/O speedup %.2f outside the paper's 2.2-4.6x band", speedup)
+	}
+	if len(rep.Recommendations) == 0 {
+		t.Error("no advisor recommendations on the baseline")
+	}
+	preload := false
+	for _, r := range rep.Recommendations {
+		if r.ID == "preload-node-local" {
+			preload = true
+		}
+	}
+	if !preload {
+		t.Errorf("advisor did not recommend preload-node-local: %v", rep.Recommendations)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"vani/internal/pipeline"
 	"vani/internal/replay"
 	"vani/internal/sim"
+	"vani/internal/spec"
 	"vani/internal/storage"
 	"vani/internal/trace"
 	"vani/internal/workloads"
@@ -499,3 +500,48 @@ func ProbeNodeLocalBW(cfg StorageConfig) (float64, error) {
 	}
 	return float64(total) / elapsed.Seconds(), nil
 }
+
+// WorkloadDoc is a parsed declarative workload spec (the internal/spec
+// DSL): parameters, directories, setup, and a run program that compiles
+// onto the simulator as a Workload.
+type WorkloadDoc = spec.Doc
+
+// ErrBadSpec wraps every validation failure from ParseSpec/ParseSweep,
+// so callers can distinguish malformed documents from I/O errors.
+var ErrBadSpec = spec.ErrBadSpec
+
+// ParseSpec parses a declarative workload spec (YAML or JSON). The
+// returned document's Compile method yields a Workload interchangeable
+// with the hand-coded generators — the golden specs' characterizations
+// are byte-identical to theirs.
+func ParseSpec(data []byte) (*WorkloadDoc, error) { return spec.Parse(data) }
+
+// ParseSpecFile reads and parses a declarative workload spec from disk.
+func ParseSpecFile(path string) (*WorkloadDoc, error) { return spec.ParseFile(path) }
+
+// Sweep is a parsed what-if sweep document: a workload (inline spec or
+// generator name) crossed with a parameter grid.
+type Sweep = spec.Sweep
+
+// SweepOptions configures a sweep execution; the zero value matches the
+// vanid service, so CLI and service reports are byte-identical.
+type SweepOptions = spec.SweepOptions
+
+// SweepReport is a sweep's comparative artifact: every grid point's
+// runtime and I/O time, the winning configuration with speedups versus
+// the baseline point, the advisor's verdicts on the baseline, and
+// replayed stripe-size trials on the baseline trace.
+type SweepReport = spec.SweepReport
+
+// SweepSetting is one applied grid coordinate in a sweep report.
+type SweepSetting = spec.SweepSetting
+
+// ParseSweep parses a sweep document (YAML or JSON).
+func ParseSweep(data []byte) (*Sweep, error) { return spec.ParseSweep(data) }
+
+// ParseSweepFile reads and parses a sweep document from disk.
+func ParseSweepFile(path string) (*Sweep, error) { return spec.ParseSweepFile(path) }
+
+// SweepToYAML renders a sweep report as its canonical YAML artifact —
+// byte-identical between `vani sweep` and vanid's POST /v1/sweep.
+func SweepToYAML(rep *SweepReport) []byte { return yamlenc.Marshal(rep) }
