@@ -878,6 +878,71 @@ func BenchmarkGroupedAgg(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupedFiltered measures grouped execution under a pushed-down
+// filter — the rank+window-restricted characterization every vanid what-if
+// request issues. With grouped kernels on, the surviving chunks are
+// selection-backed: their block run summaries are re-cut against the
+// selection vector, so key spans, the code unifier and the run-aware
+// accumulators all fire and the analyzer materializes only the Op/Size/
+// Start/End columns; off, every filtered chunk takes the map-keyed row
+// loops over the full column set. Both arms produce byte-identical YAML
+// (the filtered codec-matrix suite pins that); this measures the gap.
+func BenchmarkGroupedFiltered(b *testing.B) {
+	_, _ = allRuns(b)
+	res := runRes["cm1"]
+	var buf bytes.Buffer
+	if err := trace.WriteV2With(&buf, res.Trace, trace.V2Options{}); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	end := res.Trace.Events[len(res.Trace.Events)-1].Start
+	defer colstore.SetGroupedKernelsEnabled(true)
+	for _, bench := range []struct {
+		name    string
+		grouped bool
+	}{
+		{"grouped-on", true},
+		{"grouped-off", false},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			colstore.SetGroupedKernelsEnabled(bench.grouped)
+			opt := DefaultAnalyzerOptions()
+			ranks := make([]int32, 0, 31)
+			for r := int32(0); r < 31; r++ {
+				ranks = append(ranks, r)
+			}
+			// The window bounds every block's start range, so the per-block
+			// reduction proves it containing and the rank set alone drives
+			// the compressed selection; the rank cut is what the arms race on.
+			opt.Filter = trace.Filter{To: end, Ranks: ranks}
+			var served, fallback, filtered int64
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br, err := trace.NewBlockReader(bytes.NewReader(enc), int64(len(enc)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var timings AnalyzerTimings
+				opt.Stats = &timings
+				c, err := CharacterizeBlocksContext(context.Background(), br, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c == nil {
+					b.Fatal("nil characterization")
+				}
+				served, fallback = timings.Scan.GroupServed, timings.Scan.GroupFallback
+				filtered = timings.Scan.GroupFilteredServed
+			}
+			b.ReportMetric(float64(served), "groups-served")
+			b.ReportMetric(float64(fallback), "groups-fallback")
+			b.ReportMetric(float64(filtered), "filtered-served")
+		})
+	}
+}
+
 // BenchmarkAnalyzer measures full characterization of a mid-sized trace.
 func BenchmarkAnalyzer(b *testing.B) {
 	_, _ = allRuns(b)

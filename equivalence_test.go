@@ -269,6 +269,96 @@ func TestCodecMatrixEquivalence(t *testing.T) {
 	}
 }
 
+// TestFilteredCodecMatrixEquivalence extends the codec matrix to filtered
+// scans — the selection-backed grouped path. With a filter pushed down, the
+// surviving chunks are selection-backed and the grouped analyzer runs on
+// run summaries re-cut against the selection vector; the YAML must stay
+// byte-identical to in-memory filtering across codecs, filter shapes
+// (residual window, exact rank selection, op class, and their combination),
+// the three kernel arms, and sequential / fixed / NumCPU parallelism.
+func TestFilteredCodecMatrixEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New("hacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, equivSpec(w, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := res.Trace.Events[len(res.Trace.Events)-1].Start
+	filters := map[string]TraceFilter{
+		"window":   {From: end / 4, To: end / 2},
+		"ranks":    {Ranks: []int32{0, 1, 2, 3}},
+		"ops":      {Ops: OpClassData},
+		"combined": {From: end / 8, To: 3 * end / 4, Ranks: []int32{0, 2, 4, 6, 8, 10}, Ops: OpClassIO},
+	}
+	variants := map[string]trace.V2Options{
+		"v22auto": {Codec: trace.CodecAuto},
+		"v22raw":  {Codec: trace.CodecForceRaw},
+		"v22rle":  {Codec: trace.CodecForceRLE},
+		"v22dict": {Codec: trace.CodecForceDict},
+		"v22for":  {Codec: trace.CodecForceFOR},
+	}
+	modes := []struct {
+		label            string
+		kernels, grouped bool
+	}{
+		{"on", true, true},
+		{"grouped-off", true, false},
+		{"kernels-off", false, true},
+	}
+	pars := []int{1, 4, runtime.NumCPU()}
+	cfg := res.Spec.Storage
+	paths := map[string]string{}
+	for variant, vopt := range variants {
+		path := filepath.Join(dir, variant+".trc")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteV2With(f, res.Trace, vopt); err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths[variant] = path
+	}
+	defer func() {
+		colstore.SetKernelsEnabled(true)
+		colstore.SetGroupedKernelsEnabled(true)
+	}()
+	for fname, filter := range filters {
+		refOpt := DefaultAnalyzerOptions()
+		refOpt.Storage = &cfg
+		refOpt.Filter = filter
+		want := ToYAML(CharacterizeWith(res, refOpt))
+		for variant, path := range paths {
+			for _, mode := range modes {
+				colstore.SetKernelsEnabled(mode.kernels)
+				colstore.SetGroupedKernelsEnabled(mode.grouped)
+				for _, par := range pars {
+					opt := DefaultAnalyzerOptions()
+					opt.Storage = &cfg
+					opt.Parallelism = par
+					opt.Filter = filter
+					c, err := CharacterizeFileWith(path, opt)
+					if err != nil {
+						t.Fatalf("%s %s par=%d mode=%s: %v", fname, variant, par, mode.label, err)
+					}
+					if got := ToYAML(c); !bytes.Equal(want, got) {
+						t.Errorf("%s: %s filtered characterization differs from in-memory (par=%d mode=%s)",
+							fname, variant, par, mode.label)
+					}
+				}
+			}
+			colstore.SetKernelsEnabled(true)
+			colstore.SetGroupedKernelsEnabled(true)
+		}
+	}
+}
+
 // TestCodecSizeGuard is the size regression gate CI runs on the v2.2 cost
 // model: on every example workload trace, auto mode with the outer flate
 // layer engaged must land within 5% of the v2.1 flate encoding it replaces

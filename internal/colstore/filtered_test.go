@@ -1,0 +1,263 @@
+package colstore
+
+// Selection-backed grouped execution: filtered chunks carry their block
+// run summaries re-cut against the selection vector, so key spans, the
+// code unifier and the dense grouped aggregations fire on filtered scans
+// exactly as they do on whole blocks — with results identical to the
+// materialized columns, and the filtered-capture and fallback counters
+// moving by exact amounts.
+
+import (
+	"testing"
+
+	"vani/internal/trace"
+)
+
+// assertKeySpansMatchColumns materializes every chunk and checks that the
+// key spans tile it and agree with the columns row by row.
+func assertKeySpansMatchColumns(t *testing.T, tb *Table) {
+	t.Helper()
+	for k := 0; k < tb.NumChunks(); k++ {
+		spans, ok := tb.ChunkKeySpans(k, nil)
+		if !ok {
+			t.Fatalf("chunk %d: key spans not served", k)
+		}
+		c := tb.ChunkAt(k)
+		if err := c.Require(trace.AllCols); err != nil {
+			t.Fatal(err)
+		}
+		row := 0
+		for _, s := range spans {
+			if s.Lo != row {
+				t.Fatalf("chunk %d: span starts at %d, want %d (spans must tile)", k, s.Lo, row)
+			}
+			for j := s.Lo; j < s.Hi; j++ {
+				if c.Level[j] != s.Level || c.Rank[j] != s.Rank || c.Node[j] != s.Node ||
+					c.App[j] != s.App || c.File[j] != s.File {
+					t.Fatalf("chunk %d row %d: key span keys differ from columns", k, j)
+				}
+			}
+			row = s.Hi
+		}
+		if row != c.N {
+			t.Fatalf("chunk %d: spans cover %d rows of %d", k, row, c.N)
+		}
+	}
+}
+
+// TestSelectionBackedKeySpans: a single-dimension rank filter leaves every
+// chunk selection-backed; the re-cut run summaries must serve key spans
+// that match the materialized filtered columns, across codecs, with the
+// filtered-capture counter moving once per chunk and the grouped
+// aggregations equal to dense references over the filtered rows.
+func TestSelectionBackedKeySpans(t *testing.T) {
+	tr := groupTrace(3)
+	f := trace.Filter{Ranks: []int32{1, 3, 5}}
+	for _, codec := range []trace.CodecMode{
+		trace.CodecAuto, trace.CodecForceRLE, trace.CodecForceDict, trace.CodecForceFOR,
+	} {
+		br := blockReaderFor(t, tr, trace.V2Options{Codec: codec})
+		var stats ScanStats
+		tb, err := FromBlocksSpec(br, 2, ScanSpec{Filter: f}, &stats)
+		if err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+		sc := stats.Snapshot()
+		if sc.GroupFilteredServed != int64(tb.NumChunks()) {
+			t.Errorf("codec %v: filtered run capture served %d of %d chunks",
+				codec, sc.GroupFilteredServed, tb.NumChunks())
+		}
+		if sc.GroupFilteredFallback != 0 {
+			t.Errorf("codec %v: filtered run capture fell back on %d chunks, want 0",
+				codec, sc.GroupFilteredFallback)
+		}
+		u, err := tb.UnifyCodes(ColFile, 1<<17)
+		if err != nil {
+			t.Fatalf("codec %v UnifyCodes: %v", codec, err)
+		}
+		if u == nil {
+			t.Fatalf("codec %v: filtered file column not unifiable from re-cut summaries", codec)
+		}
+		if u.ServedChunks() != tb.NumChunks() {
+			t.Errorf("codec %v: unifier served %d/%d filtered chunks without decoding",
+				codec, u.ServedChunks(), tb.NumChunks())
+		}
+		slots := int(u.Card()) + 1
+		hist, err := tb.GroupValueHist(2, ColFile, u)
+		if err != nil {
+			t.Fatalf("codec %v GroupValueHist: %v", codec, err)
+		}
+		sums, err := tb.GroupSumSize(2, ColFile, u)
+		if err != nil {
+			t.Fatalf("codec %v GroupSumSize: %v", codec, err)
+		}
+		cnts, err := tb.GroupCountEq(2, ColFile, u, ColRank, 3)
+		if err != nil {
+			t.Fatalf("codec %v GroupCountEq: %v", codec, err)
+		}
+		assertKeySpansMatchColumns(t, tb)
+		if want := refGroupHist(tb, ColFile, slots); !int64sEqual(hist, want) {
+			t.Errorf("codec %v: GroupValueHist = %v, want %v", codec, hist, want)
+		}
+		if want := refGroupSum(tb, ColFile, slots); !int64sEqual(sums, want) {
+			t.Errorf("codec %v: GroupSumSize = %v, want %v", codec, sums, want)
+		}
+		if want := refGroupCountEq(tb, ColFile, slots, ColRank, 3); !int64sEqual(cnts, want) {
+			t.Errorf("codec %v: GroupCountEq = %v, want %v", codec, cnts, want)
+		}
+	}
+}
+
+// TestMultiDimFilteredRunCapture: partial multi-dimension filters flow
+// their selection spans from the run-intersection kernel into the re-cut
+// (no re-derivation from the selection vector), and whole-pass filters
+// keep the unfiltered block summaries — both end with key spans serving.
+func TestMultiDimFilteredRunCapture(t *testing.T) {
+	tr := groupTrace(3)
+	t.Run("partial", func(t *testing.T) {
+		f := trace.Filter{Ranks: []int32{1, 3, 5}, Ops: trace.OpClassData}
+		br := blockReaderFor(t, tr, trace.V2Options{Codec: trace.CodecForceRLE})
+		var stats ScanStats
+		tb, err := FromBlocksSpec(br, 2, ScanSpec{Filter: f}, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := stats.Snapshot()
+		if sc.RunIsectServed == 0 {
+			t.Fatal("multi-dimension filter did not take the run-intersection path")
+		}
+		if sc.GroupFilteredServed != int64(tb.NumChunks()) || sc.GroupFilteredFallback != 0 {
+			t.Errorf("filtered run capture served %d / fell back %d over %d chunks",
+				sc.GroupFilteredServed, sc.GroupFilteredFallback, tb.NumChunks())
+		}
+		assertKeySpansMatchColumns(t, tb)
+	})
+	t.Run("whole-pass", func(t *testing.T) {
+		f := trace.Filter{
+			Ranks:  []int32{0, 1, 2, 3, 4, 5, 6, 7},
+			Levels: []trace.Level{trace.LevelPosix, trace.LevelApp},
+		}
+		br := blockReaderFor(t, tr, trace.V2Options{Codec: trace.CodecForceRLE})
+		var stats ScanStats
+		tb, err := FromBlocksSpec(br, 2, ScanSpec{Filter: f}, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := stats.Snapshot()
+		if sc.RowsKept != sc.RowsTotal {
+			t.Fatalf("kept %d of %d rows, want all", sc.RowsKept, sc.RowsTotal)
+		}
+		// Every row passed: chunks are whole-block, the unfiltered capture
+		// runs and the filtered-capture counters must not move at all.
+		if sc.GroupFilteredServed != 0 || sc.GroupFilteredFallback != 0 {
+			t.Errorf("whole-pass filter ticked filtered capture (%d served, %d fallback)",
+				sc.GroupFilteredServed, sc.GroupFilteredFallback)
+		}
+		for k := 0; k < tb.NumChunks(); k++ {
+			if !tb.ChunkAt(k).HasRuns(ColRank) {
+				t.Fatalf("chunk %d: whole-pass filter lost the block run summary", k)
+			}
+		}
+		assertKeySpansMatchColumns(t, tb)
+	})
+}
+
+// TestCompressedSelMultiSpansMatchSel: the spans the run-intersection
+// kernel emits alongside its selection vector are exactly the vector's
+// maximal consecutive spans.
+func TestCompressedSelMultiSpansMatchSel(t *testing.T) {
+	tr := mixedTrace(2*ChunkRows + 901)
+	f := trace.Filter{Ranks: []int32{1, 3, 5, 7}, Ops: trace.OpClassData}
+	br := blockReaderFor(t, tr, trace.V2Options{Codec: trace.CodecForceRLE})
+	m := f.NewMatcher()
+	checked := 0
+	for k := 0; k < br.NumBlocks(); k++ {
+		bd, err := br.ReadBlock(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, spans, all, ok, eligible := compressedSelMulti(m, m.NeedCols(), bd)
+		if !eligible || !ok || all || sel == nil {
+			continue
+		}
+		want := trace.AppendSelSpans(sel, nil)
+		if len(spans) != len(want) {
+			t.Fatalf("block %d: %d spans for %d maximal runs", k, len(spans), len(want))
+		}
+		for i := range spans {
+			if spans[i] != want[i] {
+				t.Fatalf("block %d span %d: %+v, want %+v", k, i, spans[i], want[i])
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no block took the partial run-intersection path")
+	}
+}
+
+// TestGroupFallbackOncePerChunk pins the fallback accounting of a refused
+// unification: exactly one KGroupAgg fallback tick for the refusing chunk
+// — not one per key column — whether the refusal is an over-cap value on
+// a served chunk or a selection-backed chunk with no re-cut summary.
+func TestGroupFallbackOncePerChunk(t *testing.T) {
+	defer SetGroupedKernelsEnabled(true)
+	tr := groupTrace(3)
+	f := trace.Filter{Ranks: []int32{1, 3, 5}}
+	br := blockReaderFor(t, tr, trace.V2Options{Codec: trace.CodecForceRLE})
+
+	t.Run("over-cap", func(t *testing.T) {
+		var stats ScanStats
+		tb, err := FromBlocksSpec(br, 2, ScanSpec{Filter: f}, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := stats.Snapshot()
+		// Chunk 0 holds file ids {-1, 0, 1} and unifies under the cap;
+		// chunk 1 reaches id 2 and refuses. Exactly one served tick and
+		// one fallback tick must land, then the unifier gives up.
+		u, err := tb.UnifyCodes(ColFile, 2)
+		if err != nil {
+			t.Fatalf("UnifyCodes: %v", err)
+		}
+		if u != nil {
+			t.Fatal("UnifyCodes accepted file ids beyond the cap")
+		}
+		sc := stats.Snapshot()
+		if d := sc.KernelFallback[KGroupAgg] - base.KernelFallback[KGroupAgg]; d != 1 {
+			t.Errorf("refused chunk ticked %d KGroupAgg fallbacks, want exactly 1", d)
+		}
+		if d := sc.KernelServed[KGroupAgg] - base.KernelServed[KGroupAgg]; d != 1 {
+			t.Errorf("unification before the refusal ticked %d served, want exactly 1", d)
+		}
+	})
+
+	t.Run("no-summary", func(t *testing.T) {
+		// Scanning with grouped kernels off skips the selection re-cut, so
+		// the filtered chunks carry no summaries; flipping grouped back on,
+		// the first chunk refuses (it would need a decode) with exactly one
+		// fallback tick.
+		SetGroupedKernelsEnabled(false)
+		var stats ScanStats
+		tb, err := FromBlocksSpec(br, 2, ScanSpec{Filter: f}, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetGroupedKernelsEnabled(true)
+		base := stats.Snapshot()
+		u, err := tb.UnifyCodes(ColFile, 1<<17)
+		if err != nil {
+			t.Fatalf("UnifyCodes: %v", err)
+		}
+		if u != nil {
+			t.Fatal("UnifyCodes unified a filtered column with no summaries and no materialization")
+		}
+		sc := stats.Snapshot()
+		if d := sc.KernelFallback[KGroupAgg] - base.KernelFallback[KGroupAgg]; d != 1 {
+			t.Errorf("refused chunk ticked %d KGroupAgg fallbacks, want exactly 1", d)
+		}
+		if d := sc.KernelServed[KGroupAgg] - base.KernelServed[KGroupAgg]; d != 0 {
+			t.Errorf("refusal path ticked %d served, want 0", d)
+		}
+	})
+}

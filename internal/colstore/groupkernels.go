@@ -200,11 +200,16 @@ func (u *CodeUnifier) ServedChunks() int { return u.served }
 // time in chunk order: dict segments contribute their dictionary values
 // (building the per-block code table), RLE segments their run values,
 // constant segments their single value — all from headers, without
-// materializing the column — and chunks whose column is already
-// materialized fall back to a scan. It returns (nil, nil) when any stored
-// value falls outside [-1, maxCard) or when a chunk would need a decode to
-// answer (filtered selection, structureless codec), meaning the column is
-// not cheaply unifiable and callers must stay on the map-keyed path.
+// materializing the column. Selection-backed chunks, whose whole-segment
+// cursors refuse, serve from their captured run summaries instead — the
+// block runs re-cut against the selection, so one note per run covers
+// exactly the kept rows. Chunks whose column is already materialized fall
+// back to a scan. It returns (nil, nil) when any stored value falls
+// outside [-1, maxCard) or when a chunk would need a decode to answer
+// (filtered chunk without a re-cut summary, structureless codec), meaning
+// the column is not cheaply unifiable and callers must stay on the
+// map-keyed path; the refusing chunk counts one KGroupAgg fallback —
+// once per chunk, never once per key column.
 func (t *Table) UnifyCodes(col Col, maxCard int32) (*CodeUnifier, error) {
 	u := &CodeUnifier{col: col, codes: make([][]int32, len(t.chunks))}
 	colIdx := bits.TrailingZeros64(uint64(col.traceCol()))
@@ -259,6 +264,21 @@ func (t *Table) UnifyCodes(col Col, maxCard int32) (*CodeUnifier, error) {
 				}
 				cur.Release()
 			}
+			if !served {
+				// No whole-segment cursor (selection-backed chunk, or the
+				// payload is gone): the captured run summary — re-cut
+				// against the selection for filtered chunks — still names
+				// every kept value, one note per run, without a decode.
+				if runs := c.runs[col]; runs != nil {
+					served = true
+					for _, r := range runs {
+						if !note(r.Val) {
+							dense = false
+							break
+						}
+					}
+				}
+			}
 		}
 		if served {
 			u.served++
@@ -280,10 +300,13 @@ func (t *Table) UnifyCodes(col Col, maxCard int32) (*CodeUnifier, error) {
 				}
 			}
 		}
-		t.tickKernel(KGroupAgg, served)
 		if !dense {
+			// The chunk defeats unification (value outside [-1, maxCard)):
+			// one fallback tick for this chunk, however it was consulted.
+			t.tickKernel(KGroupAgg, false)
 			return nil, nil
 		}
+		t.tickKernel(KGroupAgg, served)
 	}
 	u.card = int32(maxVal + 1)
 	return u, nil

@@ -59,13 +59,20 @@ const (
 	// unifier built from dict segment headers plus the dense grouped
 	// kernels (GroupValueHist, GroupSumSize, GroupCountEq).
 	KGroupAgg
+	// KTimelineAdd is run-aware timeline accumulation: spans of rows bucket
+	// into stats.Timeline bins in O(bins-crossed) instead of O(rows), by
+	// segmenting the span's time-sorted rows at bin boundaries.
+	KTimelineAdd
+	// KHistAdd is run-aware size-histogram accumulation: a constant-size
+	// run of rows adds count×size to its bucket in O(1).
+	KHistAdd
 	// NumKernelOps bounds the per-kernel counter arrays.
 	NumKernelOps
 )
 
 var kernelOpNames = [NumKernelOps]string{
 	"predicate", "counteq", "sumeq", "hist", "groupby", "minmax", "spanscan",
-	"keyspan", "groupagg",
+	"keyspan", "groupagg", "tladd", "histadd",
 }
 
 // String returns the kernel operation's short name.
@@ -112,6 +119,13 @@ func init() {
 	for _, op := range []KernelOp{KCountEq, KSumEq, KHist, KGroupBy, KSpanScan, KKeySpan, KGroupAgg} {
 		registerKernel(op, trace.SegCodecFOR)
 	}
+	// The run-aware distribution accumulators batch over any span structure
+	// the run-structured codecs produced (the Start/End values themselves
+	// come from materialized columns — their segments are delta chains).
+	for _, codec := range []uint8{trace.SegCodecRLE, trace.SegCodecDict, trace.SegCodecFOR} {
+		registerKernel(KTimelineAdd, codec)
+		registerKernel(KHistAdd, codec)
+	}
 	// FOR headers answer range queries without unpacking.
 	registerKernel(KMinMax, trace.SegCodecFOR)
 	kernelsOff.Store(false)
@@ -136,6 +150,16 @@ func (t *Table) tickKernel(op KernelOp, served bool) {
 	if t.stats != nil {
 		t.stats.tickKernel(op, served)
 	}
+}
+
+// TickAccumKernels records one chunk pass's run-aware distribution
+// accumulator requests: served when span structure let the pass batch its
+// timeline and size-histogram accumulation (KTimelineAdd/KHistAdd),
+// fallback when it bucketed per row. The analyzer's pass-2 scans call this
+// once per chunk so the batched/per-row split is observable end to end.
+func (t *Table) TickAccumKernels(served bool) {
+	t.tickKernel(KTimelineAdd, served)
+	t.tickKernel(KHistAdd, served)
 }
 
 // runUsable reports whether the chunk has a run summary for run column ri
@@ -293,8 +317,12 @@ func (s *synthCol) install(ck *Chunk) {
 // is never decoded. all == true means every row passed (the caller keeps
 // the whole block); ok == false means the fast path does not apply and the
 // caller must fall back to compressedKeep / materialized selection.
-func compressedSel(m *trace.Matcher, bd *trace.BlockData) (sel []int32, syn synthCol, all, ok bool) {
-	need := m.NeedCols()
+//
+// need is the matcher's constrained-dimension set for this block — the
+// caller passes Matcher.NeedColsBlock, so a window the block's index entry
+// proves wholly containing has already dropped out and a window+rank
+// filter lands here as a pure rank filter on interior blocks.
+func compressedSel(m *trace.Matcher, need trace.ColSet, bd *trace.BlockData) (sel []int32, syn synthCol, all, ok bool) {
 	if !KernelsEnabled() || (need != trace.ColLevel && need != trace.ColOp && need != trace.ColRank) {
 		return nil, syn, false, false
 	}
@@ -476,14 +504,18 @@ func appendPassRuns(m *trace.Matcher, d *predDim, cur *trace.SegCursor, n int, d
 // outcome runs and the runs intersect in lockstep, emitting the selection
 // vector directly at exact final size — no keep bitmap, no residual row
 // pass. A first intersection walk counts (and short-circuits whole-pass
-// and whole-drop blocks without allocating), a second fills. eligible
-// reports whether the filter shape qualifies at all (for the run-isect
-// counters); ok whether every dimension was run-representable.
-func compressedSelMulti(m *trace.Matcher, bd *trace.BlockData) (sel []int32, all, ok, eligible bool) {
-	need := m.NeedCols()
+// and whole-drop blocks without allocating), a second fills. The fill walk
+// already visits the selection one contiguous pass segment at a time, so
+// it emits that run structure alongside the vector (spans, coalesced) —
+// the selection's spans feed the run re-cut instead of being rediscovered
+// from the dense indices. eligible reports whether the filter shape
+// qualifies at all (for the run-isect counters); ok whether every
+// dimension was run-representable. need is the block-reduced constrained
+// set (Matcher.NeedColsBlock).
+func compressedSelMulti(m *trace.Matcher, need trace.ColSet, bd *trace.BlockData) (sel []int32, spans []trace.SelSpan, all, ok, eligible bool) {
 	const dims3 = trace.ColLevel | trace.ColOp | trace.ColRank
 	if !KernelsEnabled() || need&^dims3 != 0 || bits.OnesCount64(uint64(need)) < 2 {
-		return nil, false, false, false
+		return nil, nil, false, false, false
 	}
 	n := bd.Count()
 	var lists [3][]passRun
@@ -495,12 +527,12 @@ func compressedSelMulti(m *trace.Matcher, bd *trace.BlockData) (sel []int32, all
 		}
 		cur, err := bd.SegCursorAt(bits.TrailingZeros64(uint64(d.set)))
 		if err != nil || cur == nil {
-			return nil, false, false, true
+			return nil, nil, false, false, true
 		}
 		pr, prOK := appendPassRuns(m, d, cur, n, nil)
 		cur.Release()
 		if !prOK {
-			return nil, false, false, true
+			return nil, nil, false, false, true
 		}
 		lists[nd] = pr
 		nd++
@@ -533,11 +565,13 @@ func compressedSelMulti(m *trace.Matcher, bd *trace.BlockData) (sel []int32, all
 	}
 	switch cnt {
 	case n:
-		return nil, true, true, true
+		return nil, nil, true, true, true
 	case 0:
-		return emptySel, false, true, true
+		return emptySel, nil, false, true, true
 	}
-	// Pass two: fill the selection at exact size.
+	// Pass two: fill the selection at exact size, emitting its run
+	// structure (contiguous kept spans, coalesced across dimension
+	// boundaries) as it goes.
 	sel = make([]int32, 0, cnt)
 	idx, rem = [3]int{}, [3]int{}
 	for i := 0; i < nd; i++ {
@@ -556,6 +590,11 @@ func compressedSelMulti(m *trace.Matcher, bd *trace.BlockData) (sel []int32, all
 			for j := row; j < row+seg; j++ {
 				sel = append(sel, int32(j))
 			}
+			if ns := len(spans); ns > 0 && spans[ns-1].Lo+spans[ns-1].N == int32(row) {
+				spans[ns-1].N += int32(seg)
+			} else {
+				spans = append(spans, trace.SelSpan{Lo: int32(row), N: int32(seg)})
+			}
 		}
 		row += seg
 		for i := 0; i < nd; i++ {
@@ -565,7 +604,7 @@ func compressedSelMulti(m *trace.Matcher, bd *trace.BlockData) (sel []int32, all
 			}
 		}
 	}
-	return sel, false, true, true
+	return sel, spans, false, true, true
 }
 
 // compressedKeep evaluates the matcher's per-dimension predicates in the
@@ -576,9 +615,12 @@ func compressedSelMulti(m *trace.Matcher, bd *trace.BlockData) (sel []int32, all
 // whose segments are unserved, or whose stored values would fail decode
 // validation, stay residual so materialization reproduces the decode
 // error exactly. keep == nil with served dimensions means every row passed
-// them. Start never evaluates compressed (its segment is a delta chain).
-func compressedKeep(m *trace.Matcher, bd *trace.BlockData) (kb *keepBuf, residual trace.ColSet, served bool) {
-	residual = m.NeedCols()
+// them. Start never evaluates compressed (its segment is a delta chain) —
+// though a block whose index entry proves the window containing arrives
+// with ColStart already dropped from need (Matcher.NeedColsBlock), the
+// one case where the window costs nothing at all.
+func compressedKeep(m *trace.Matcher, need trace.ColSet, bd *trace.BlockData) (kb *keepBuf, residual trace.ColSet, served bool) {
+	residual = need
 	if !KernelsEnabled() || residual&^trace.ColStart == 0 {
 		return nil, residual, false
 	}

@@ -75,31 +75,89 @@ func runBounds(ri int) (lo, hi int64) {
 // summaries denser than one run per four rows, where run iteration stops
 // paying for itself and the expanded summary would out-weigh the column.
 func (c *Chunk) captureRuns(bd *trace.BlockData) {
+	if c.N < 4 {
+		return // no summary can pass the one-run-per-four-rows cap
+	}
 	for ri := 0; ri < numRunCols; ri++ {
 		idx := bits.TrailingZeros64(uint64(runColSet(ri)))
 		cur, err := bd.SegCursorAt(idx)
 		if err != nil || cur == nil {
 			continue
 		}
-		runs := cur.AppendRuns(nil)
+		// Density cap pushed into the decode: a summary denser than one
+		// run per four rows would be dropped below anyway, so stop
+		// materializing the moment it crosses the line.
+		runs, ok := cur.AppendRunsMax(nil, c.N/4)
 		codec := cur.Codec()
 		cur.Release()
-		if runs == nil || len(runs)*4 > c.N {
+		if !ok || len(runs) == 0 {
 			continue
 		}
 		lo, hi := runBounds(ri)
-		ok := true
+		valid := true
 		for _, r := range runs {
 			if r.Val < lo || r.Val > hi {
-				ok = false
+				valid = false
 				break
 			}
 		}
-		if ok {
+		if valid {
 			c.runs[ri] = runs
 			c.runCodec[ri] = codec
 		}
 	}
+}
+
+// captureRunsSel is captureRuns for selection-backed chunks: each run
+// column's block-level value runs are re-cut against the selection's spans
+// (SegCursor.CutRunsSel, the streaming fusion of trace.CutRuns into the
+// segment decode), so the captured summary covers exactly the chunk's kept
+// rows in kept order. The same decode-validation bounds and density cap
+// apply, with the cap measured against the kept row count. It reports
+// whether every stable key column ended up with a summary — the condition
+// for key spans (and so the grouped analyzer passes) to fire on this
+// filtered chunk.
+func (c *Chunk) captureRunsSel(bd *trace.BlockData, spans []trace.SelSpan) bool {
+	maxRuns := c.N / 4 // the density cap, pushed down into the cut
+	if maxRuns == 0 {
+		return false // fewer than 4 kept rows: no summary can pass the cap
+	}
+	for ri := 0; ri < numRunCols; ri++ {
+		idx := bits.TrailingZeros64(uint64(runColSet(ri)))
+		cur, err := bd.SegCursorAt(idx)
+		if err != nil || cur == nil {
+			continue
+		}
+		// The cut streams fused into the segment decode: the block-level
+		// run list never materializes, so a column that is block-dense
+		// but selection-sparse (rank after the k-way merge under a narrow
+		// window, say) serves at O(kept runs) extra memory, while a
+		// column still over the cap abandons the walk at maxRuns+1.
+		runs, ok := cur.CutRunsSel(spans, nil, maxRuns)
+		codec := cur.Codec()
+		cur.Release()
+		if !ok || len(runs) == 0 {
+			continue
+		}
+		lo, hi := runBounds(ri)
+		valid := true
+		for _, r := range runs {
+			if r.Val < lo || r.Val > hi {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			c.runs[ri] = runs
+			c.runCodec[ri] = codec
+		}
+	}
+	for _, ri := range keyRunCols {
+		if c.runs[ri] == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // HasRuns reports whether the chunk carries a run summary for the key

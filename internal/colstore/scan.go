@@ -63,6 +63,14 @@ type ScanStats struct {
 	// served vs fell back because some dimension lacked run structure.
 	RunIsectServed   atomic.Int64
 	RunIsectFallback atomic.Int64
+
+	// GroupFilteredServed and GroupFilteredFallback count selection-backed
+	// chunks whose re-cut run summaries covered every stable key column —
+	// grouped execution fires on the filtered chunk — vs filtered chunks
+	// whose re-cut came up short (density cap, structureless segments) and
+	// stay on the row path.
+	GroupFilteredServed   atomic.Int64
+	GroupFilteredFallback atomic.Int64
 }
 
 // tickKernel records one kernel request as served or fallback. Nil-safe.
@@ -109,6 +117,18 @@ type ScanCounters struct {
 	// blocks that fell back to the keep-bitmap path.
 	RunIsectServed   int64
 	RunIsectFallback int64
+
+	// Selection-backed chunks where re-cut run summaries let grouped
+	// execution fire vs filtered chunks left on the row path.
+	GroupFilteredServed   int64
+	GroupFilteredFallback int64
+
+	// Run-aware distribution accumulators: chunk passes whose timeline and
+	// size-histogram accumulation batched over span structure vs passes
+	// that bucketed per row (KernelServed/Fallback for KTimelineAdd and
+	// KHistAdd, summed).
+	TLServed   int64
+	TLFallback int64
 }
 
 // Snapshot reads every counter.
@@ -135,6 +155,10 @@ func (s *ScanStats) Snapshot() ScanCounters {
 	c.GroupFallback = c.KernelFallback[KKeySpan] + c.KernelFallback[KGroupAgg]
 	c.RunIsectServed = s.RunIsectServed.Load()
 	c.RunIsectFallback = s.RunIsectFallback.Load()
+	c.GroupFilteredServed = s.GroupFilteredServed.Load()
+	c.GroupFilteredFallback = s.GroupFilteredFallback.Load()
+	c.TLServed = c.KernelServed[KTimelineAdd] + c.KernelServed[KHistAdd]
+	c.TLFallback = c.KernelFallback[KTimelineAdd] + c.KernelFallback[KHistAdd]
 	return c
 }
 
@@ -343,10 +367,18 @@ func FromBlocksSpecContext(ctx context.Context, src trace.BlockSource, par int, 
 		if errs[k] = ctx.Err(); errs[k] != nil {
 			return
 		}
-		if m.SkipBlock(src.BlockAt(k)) {
+		bi := src.BlockAt(k)
+		if m.SkipBlock(bi) {
 			stats.BlocksPruned.Add(1)
 			return
 		}
+		// The block's index entry can prove dimensions pass-all for every
+		// row it holds (a containing time window, most usefully), so the
+		// constrained set shrinks per block: a window+rank filter becomes a
+		// pure rank filter on interior blocks — compressed-selection
+		// territory — and a pure-window filter keeps interior blocks whole,
+		// run summaries intact, without touching a row.
+		need := m.NeedColsBlock(bi)
 		bd, err := src.ReadBlock(k)
 		if err != nil {
 			errs[k] = err
@@ -354,7 +386,7 @@ func FromBlocksSpecContext(ctx context.Context, src trace.BlockSource, par int, 
 		}
 		stats.PayloadBytes.Add(int64(bd.PayloadBytes()))
 		stats.RowsTotal.Add(int64(bd.Count()))
-		if m.Empty() {
+		if need == 0 {
 			ck := &Chunk{N: bd.Count()}
 			lz := &lazySrc{bd: bd, stats: stats}
 			if spec.Cols != 0 {
@@ -389,13 +421,17 @@ func FromBlocksSpecContext(ctx context.Context, src trace.BlockSource, par int, 
 		// dimensions the kernel registry can serve narrow a keep bitmap
 		// and leave the residual set. Either way the decode shrinks to
 		// residual columns only.
-		sel, syn, selAll, direct := compressedSel(m, bd)
+		sel, syn, selAll, direct := compressedSel(m, need, bd)
+		var selSpans []trace.SelSpan
 		if !direct {
 			// Multi-dimension filters intersect run summaries across columns
-			// and emit the selection directly, skipping the keep bitmap.
-			if msel, mall, mok, eligible := compressedSelMulti(m, bd); eligible {
+			// and emit the selection directly, skipping the keep bitmap. The
+			// intersection walk also hands back the selection's run structure
+			// (its contiguous kept spans), so the re-cut below never has to
+			// rediscover it from the dense vector.
+			if msel, mspans, mall, mok, eligible := compressedSelMulti(m, need, bd); eligible {
 				if mok {
-					sel, selAll, direct = msel, mall, true
+					sel, selSpans, selAll, direct = msel, mspans, mall, true
 					stats.RunIsectServed.Add(1)
 				} else {
 					stats.RunIsectFallback.Add(1)
@@ -406,7 +442,7 @@ func FromBlocksSpecContext(ctx context.Context, src trace.BlockSource, par int, 
 		var residual trace.ColSet
 		served := direct
 		if !direct {
-			kb, residual, served = compressedKeep(m, bd)
+			kb, residual, served = compressedKeep(m, need, bd)
 			if served && kb == nil && residual == 0 {
 				// Every constrained dimension passed whole-block: keep the
 				// block outright instead of filling a full selection vector.
@@ -463,6 +499,20 @@ func FromBlocksSpecContext(ctx context.Context, src trace.BlockSource, par int, 
 		}
 		if sel == nil {
 			ck.captureRuns(bd)
+		} else if GroupedKernelsEnabled() {
+			// Selection-backed chunk: re-cut the block's value runs against
+			// the selection's spans so grouped execution fires on filtered
+			// chunks too. Selections not born run-structured (residual row
+			// predicates, keep bitmaps) coalesce here — they are still runs
+			// of kept rows, just spelled out one index at a time.
+			if selSpans == nil {
+				selSpans = trace.AppendSelSpans(sel, nil)
+			}
+			if ck.captureRunsSel(bd, selSpans) {
+				stats.GroupFilteredServed.Add(1)
+			} else {
+				stats.GroupFilteredFallback.Add(1)
+			}
 		}
 		if have != trace.AllCols {
 			ck.lazy = &lazySrc{bd: bd, sel: sel, have: have, stats: stats}

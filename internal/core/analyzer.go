@@ -174,14 +174,23 @@ type analysis struct {
 	opt Options
 	par int
 
-	// Filled by the fused scan.
-	runtime    time.Duration
-	gpuUsed    bool
-	appRanks   map[int32]int // ranks that emitted any event, per app
-	primary    []int         // rows at each (app, file) stream's primary level
-	posix      []int         // POSIX-level I/O rows
-	byApp      map[int32][]int
-	fileAgg    map[int32]*fileAgg
+	// Filled by the fused scan. The row subsets arrive either as plain
+	// row lists (map-keyed fallback scan) or as constant-key segments
+	// (grouped scan, a.grouped set); run() gathers whichever form into
+	// the views the post passes consume.
+	runtime     time.Duration
+	gpuUsed     bool
+	appRanks    map[int32]int // ranks that emitted any event, per app
+	primary     []int         // rows at each (app, file) stream's primary level
+	posix       []int         // POSIX-level I/O rows
+	byApp       map[int32][]int
+	grouped     bool
+	primarySegs []rowSeg
+	posixSegs   []rowSeg
+	byAppSegs   map[int32][]rowSeg
+	primaryV    *rowView
+	posixV      *rowView
+	fileAgg     map[int32]*fileAgg
 	readBytes  int64
 	writeBytes int64
 	primData   int64
@@ -261,6 +270,13 @@ func (a *analysis) run() (*Characterization, error) {
 	}
 	if err := a.ctx.Err(); err != nil {
 		return nil, err
+	}
+	if a.grouped {
+		a.primaryV = a.viewSegs(a.primarySegs, primaryViewCols)
+		a.posixV = a.viewSegs(a.posixSegs, posixViewCols)
+	} else {
+		a.primaryV = a.viewRows(a.primary, primaryViewCols)
+		a.posixV = a.viewRows(a.posix, posixViewCols)
 	}
 
 	c := &Characterization{Workload: a.tr.Meta.Workload}
@@ -452,6 +468,7 @@ func (a *analysis) fusedScan() error {
 		// Size/Start/End accumulations stay per-row, in unchanged row
 		// order, so the result is byte-identical to the row loop.
 		spans, spanOK := a.tb.ChunkSpans(k, nil)
+		a.tb.TickAccumKernels(spanOK)
 		need := pass2Cols
 		if spanOK {
 			need = trace.ColSize | trace.ColStart | trace.ColEnd
@@ -594,9 +611,12 @@ func (a *analysis) fusedScan() error {
 
 // spanPass2 runs pass 2 over one chunk's constant-key spans: the level
 // check, primary resolution, file and rank accumulator lookups and the op
-// dispatch happen once per span instead of once per row, and only the
-// Size/Start/End accumulations walk rows — in the same order as the row
-// loop, so every per-chunk partial is identical to the fallback's.
+// dispatch happen once per span instead of once per row, and the remaining
+// Size/Start/End accumulations run batched — equal-size sub-runs feed
+// SizeHistogram.AddRun, Timeline.AddRuns buckets whole spans, and the byte
+// and duration tallies are span sums. Every batched add is a regrouped
+// integer sum over the same rows in the same order, so every per-chunk
+// partial is identical to the fallback's.
 func (a *analysis) spanPass2(c *colstore.Chunk, spans []colstore.Span, levels map[appFile]uint8, p *pass2) {
 	for _, s := range spans {
 		op := trace.Op(s.Op)
@@ -631,9 +651,11 @@ func (a *analysis) spanPass2(c *colstore.Chunk, spans []colstore.Span, levels ma
 				p.files[s.File] = fa
 			}
 			fa.ranks[s.Rank] = true
+			var dsum int64
 			for j := s.Lo; j < s.Hi; j++ {
-				fa.ioDur += time.Duration(c.End[j] - c.Start[j])
+				dsum += c.End[j] - c.Start[j]
 			}
+			fa.ioDur += time.Duration(dsum)
 		}
 		acc := p.perRank[s.Rank]
 		if acc == nil {
@@ -642,36 +664,52 @@ func (a *analysis) spanPass2(c *colstore.Chunk, spans []colstore.Span, levels ma
 		}
 		switch op {
 		case trace.OpRead:
-			for j := s.Lo; j < s.Hi; j++ {
-				sz, dur := c.Size[j], c.End[j]-c.Start[j]
-				p.readBytes += sz
-				p.readHist.Add(sz, time.Duration(dur))
-				p.readTL.Add(time.Duration(c.Start[j]), time.Duration(c.End[j]), sz)
-				acc.rBytes += sz
-				acc.rDur += dur
-			}
-			if fa != nil {
-				for j := s.Lo; j < s.Hi; j++ {
-					fa.bytesRead += c.Size[j]
+			var spanBytes int64
+			for j := s.Lo; j < s.Hi; {
+				sz := c.Size[j]
+				dsum := c.End[j] - c.Start[j]
+				j2 := j + 1
+				for j2 < s.Hi && c.Size[j2] == sz {
+					dsum += c.End[j2] - c.Start[j2]
+					j2++
 				}
+				cnt := int64(j2 - j)
+				spanBytes += sz * cnt
+				p.readHist.AddRun(sz, cnt, time.Duration(dsum))
+				acc.rDur += dsum
+				j = j2
+			}
+			p.readBytes += spanBytes
+			p.readTL.AddRuns(c.Start, c.End, c.Size, s.Lo, s.Hi)
+			acc.rBytes += spanBytes
+			if fa != nil {
+				fa.bytesRead += spanBytes
 				fa.readerRanks[s.Rank] = true
 				fa.readerNodes[s.Node] = true
 				fa.readerApps[s.App] = true
 				fa.dataOps += n
 			}
 		case trace.OpWrite:
-			for j := s.Lo; j < s.Hi; j++ {
-				sz, dur := c.Size[j], c.End[j]-c.Start[j]
-				p.writeBytes += sz
-				p.writeHist.Add(sz, time.Duration(dur))
-				p.writeTL.Add(time.Duration(c.Start[j]), time.Duration(c.End[j]), sz)
-				acc.wBytes += sz
-				acc.wDur += dur
-			}
-			if fa != nil {
-				for j := s.Lo; j < s.Hi; j++ {
-					fa.bytesWritten += c.Size[j]
+			var spanBytes int64
+			for j := s.Lo; j < s.Hi; {
+				sz := c.Size[j]
+				dsum := c.End[j] - c.Start[j]
+				j2 := j + 1
+				for j2 < s.Hi && c.Size[j2] == sz {
+					dsum += c.End[j2] - c.Start[j2]
+					j2++
 				}
+				cnt := int64(j2 - j)
+				spanBytes += sz * cnt
+				p.writeHist.AddRun(sz, cnt, time.Duration(dsum))
+				acc.wDur += dsum
+				j = j2
+			}
+			p.writeBytes += spanBytes
+			p.writeTL.AddRuns(c.Start, c.End, c.Size, s.Lo, s.Hi)
+			acc.wBytes += spanBytes
+			if fa != nil {
+				fa.bytesWritten += spanBytes
 				fa.writerRanks[s.Rank] = true
 				fa.writerNodes[s.Node] = true
 				fa.writerApps[s.App] = true
@@ -707,12 +745,12 @@ func (a *analysis) jobConfig() JobConfigEntity {
 	}
 }
 
-// opCounts tallies data and meta ops over a row subset.
-func (a *analysis) opCounts(rows []int) (data, meta int64) {
-	for _, i := range rows {
-		if a.tb.IsData(i) {
+// opCounts tallies data and meta ops over a view range.
+func opCounts(v *rowView, lo, hi int) (data, meta int64) {
+	for _, b := range v.op[lo:hi] {
+		if op := trace.Op(b); op.IsData() {
 			data++
-		} else if a.tb.IsMeta(i) {
+		} else if op.IsMeta() {
 			meta++
 		}
 	}
@@ -727,18 +765,26 @@ func pcts(data, meta int64) (float64, float64) {
 	return float64(data) / float64(total), float64(meta) / float64(total)
 }
 
-// unionDuration merges [start,end) intervals of the given rows and returns
-// the total covered time — the workload's I/O wall-clock.
-func (a *analysis) unionDuration(rows []int) time.Duration {
-	if len(rows) == 0 {
+// unionDuration merges [start,end) intervals of the view's rows and
+// returns the total covered time — the workload's I/O wall-clock. Table
+// order is Start-sorted for tracer-built traces, so the sort is detected
+// away in one pass; the interval union is order-independent either way.
+func unionDuration(v *rowView) time.Duration {
+	if v.n == 0 {
 		return 0
 	}
 	type iv struct{ s, e int64 }
-	ivs := make([]iv, 0, len(rows))
-	for _, i := range rows {
-		ivs = append(ivs, iv{a.tb.Start(i), a.tb.End(i)})
+	ivs := make([]iv, v.n)
+	sorted := true
+	for i := 0; i < v.n; i++ {
+		ivs[i] = iv{v.start[i], v.end[i]}
+		if i > 0 && ivs[i].s < ivs[i-1].s {
+			sorted = false
+		}
 	}
-	sort.Slice(ivs, func(x, y int) bool { return ivs[x].s < ivs[y].s })
+	if !sorted {
+		sort.Slice(ivs, func(x, y int) bool { return ivs[x].s < ivs[y].s })
+	}
 	var total, curS, curE int64
 	curS, curE = ivs[0].s, ivs[0].e
 	for _, v := range ivs[1:] {
@@ -754,13 +800,24 @@ func (a *analysis) unionDuration(rows []int) time.Duration {
 }
 
 // dominantSize returns the most frequent exact transfer size among the
-// given data rows (ties break toward the larger size).
-func (a *analysis) dominantSize(rows []int, op trace.Op) int64 {
+// view range's data rows (ties break toward the larger size). Matching
+// rows arrive in equal-size runs (the tracer's transfer loops), so the
+// walk batches each run into one map update — the per-row counts
+// regrouped.
+func dominantSize(v *rowView, lo, hi int, op trace.Op) int64 {
 	counts := map[int64]int64{}
-	for _, i := range rows {
-		if trace.Op(a.tb.Op(i)) == op && a.tb.Size(i) > 0 {
-			counts[a.tb.Size(i)]++
+	for i := lo; i < hi; {
+		if trace.Op(v.op[i]) != op || v.size[i] <= 0 {
+			i++
+			continue
 		}
+		sz := v.size[i]
+		j := i + 1
+		for j < hi && trace.Op(v.op[j]) == op && v.size[j] == sz {
+			j++
+		}
+		counts[sz] += int64(j - i)
+		i = j
 	}
 	var best int64
 	var bestN int64 = -1
@@ -775,13 +832,13 @@ func (a *analysis) dominantSize(rows []int, op trace.Op) int64 {
 	return best
 }
 
-// interfaceName maps the dominant library of a row set to the table name.
-// Libraries tally into a fixed array walked in ascending enum order, so a
-// count tie deterministically picks the lower-level library.
-func (a *analysis) interfaceName(rows []int) string {
+// interfaceName maps the dominant library of a view's rows to the table
+// name. Libraries tally into a fixed array walked in ascending enum
+// order, so a count tie deterministically picks the lower-level library.
+func interfaceName(v *rowView) string {
 	var counts [8]int64
-	for _, i := range rows {
-		if lib := a.tb.Lib(i); int(lib) < len(counts) {
+	for _, lib := range v.lib {
+		if int(lib) < len(counts) {
 			counts[lib]++
 		}
 	}
@@ -803,25 +860,55 @@ func (a *analysis) interfaceName(rows []int) string {
 
 // accessPattern classifies offsets per (file, rank) stream: sequential if
 // at least 80% of consecutive data accesses are non-decreasing in offset.
-func (a *analysis) accessPattern(rows []int) string {
+// On a segmented view the stream key is constant per segment, so the map
+// round-trips once per segment and the offsets chain through a local —
+// the identical comparison sequence the per-row walk performs (non-data
+// rows leave the chain untouched there too).
+func accessPattern(v *rowView) string {
 	type key struct {
 		f int32
 		r int32
 	}
 	last := map[key]int64{}
 	var seq, total int64
-	for _, i := range rows {
-		if !a.tb.IsData(i) || a.tb.File(i) < 0 {
-			continue
-		}
-		k := key{a.tb.File(i), a.tb.Rank(i)}
-		if prev, ok := last[k]; ok {
-			total++
-			if a.tb.Offset(i) >= prev {
-				seq++
+	if v.segs != nil {
+		for _, s := range v.segs {
+			if s.file < 0 {
+				continue
+			}
+			k := key{s.file, s.rank}
+			prev, ok := last[k]
+			for j := s.lo; j < s.hi; j++ {
+				if !trace.Op(v.op[j]).IsData() {
+					continue
+				}
+				off := v.off[j]
+				if ok {
+					total++
+					if off >= prev {
+						seq++
+					}
+				}
+				prev, ok = off, true
+			}
+			if ok {
+				last[k] = prev
 			}
 		}
-		last[k] = a.tb.Offset(i)
+	} else {
+		for i := 0; i < v.n; i++ {
+			if !trace.Op(v.op[i]).IsData() || v.file[i] < 0 {
+				continue
+			}
+			k := key{v.file[i], v.rank[i]}
+			if prev, ok := last[k]; ok {
+				total++
+				if v.off[i] >= prev {
+					seq++
+				}
+			}
+			last[k] = v.off[i]
+		}
 	}
 	if total == 0 || float64(seq)/float64(total) >= 0.8 {
 		return "Seq"
@@ -830,29 +917,42 @@ func (a *analysis) accessPattern(rows []int) string {
 }
 
 func (a *analysis) apps() []AppEntity {
-	order := make([]int32, 0, len(a.byApp))
-	for app := range a.byApp {
-		order = append(order, app)
+	var order []int32
+	if a.grouped {
+		order = make([]int32, 0, len(a.byAppSegs))
+		for app := range a.byAppSegs {
+			order = append(order, app)
+		}
+	} else {
+		order = make([]int32, 0, len(a.byApp))
+		for app := range a.byApp {
+			order = append(order, app)
+		}
 	}
 	sort.Slice(order, func(x, y int) bool { return order[x] < order[y] })
 
 	var out []AppEntity
 	for _, app := range order {
-		rows := a.byApp[app]
-		data, meta := a.opCounts(rows)
+		var v *rowView
+		if a.grouped {
+			v = a.viewSegs(a.byAppSegs[app], appViewCols)
+		} else {
+			v = a.viewRows(a.byApp[app], appViewCols)
+		}
+		data, meta := opCounts(v, 0, v.n)
 		dPct, mPct := pcts(data, meta)
 		var bytes int64
 		var minS, maxE int64
 		minS = 1<<63 - 1
-		for _, i := range rows {
-			if a.tb.IsData(i) {
-				bytes += a.tb.Size(i)
+		for i := 0; i < v.n; i++ {
+			if trace.Op(v.op[i]).IsData() {
+				bytes += v.size[i]
 			}
-			if a.tb.Start(i) < minS {
-				minS = a.tb.Start(i)
+			if v.start[i] < minS {
+				minS = v.start[i]
 			}
-			if a.tb.End(i) > maxE {
-				maxE = a.tb.End(i)
+			if v.end[i] > maxE {
+				maxE = v.end[i]
 			}
 		}
 		fpp, shared := a.fileSplitForApp(app)
@@ -868,7 +968,7 @@ func (a *analysis) apps() []AppEntity {
 			IOBytes:     bytes,
 			DataOpsPct:  dPct,
 			MetaOpsPct:  mPct,
-			Interface:   a.interfaceName(rows),
+			Interface:   interfaceName(v),
 			Runtime:     time.Duration(maxE - minS),
 		})
 	}
@@ -963,7 +1063,7 @@ func (a *analysis) workflow(apps []AppEntity) WorkflowEntity {
 		DataOpsPct:          dPct,
 		MetaOpsPct:          mPct,
 		CrossNodeRAW:        crossRAW,
-		IOTime:              a.unionDuration(a.primary),
+		IOTime:              unionDuration(a.primaryV),
 		Runtime:             a.runtime,
 	}
 }
@@ -1014,57 +1114,71 @@ func (a *analysis) appDeps() []AppDep {
 // (Start, Rank, End)-sorted; the stable sort below is a cheap guard for
 // tables built from unsorted traces and cannot reorder sorted input.
 func (a *analysis) phases() []IOPhaseEntity {
-	if len(a.primary) == 0 {
+	v := a.primaryV
+	if v.n == 0 {
 		return nil
 	}
-	rows := append([]int(nil), a.primary...)
-	sort.SliceStable(rows, func(x, y int) bool { return a.tb.Start(rows[x]) < a.tb.Start(rows[y]) })
+	// Detect the sorted common case in one pass; only tables built from
+	// unsorted traces pay the stable sort (as an index permutation over
+	// the gathered view — the same order the row sort produced).
+	sorted := true
+	for i := 1; i < v.n; i++ {
+		if v.start[i] < v.start[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		idx := make([]int, v.n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool { return v.start[idx[x]] < v.start[idx[y]] })
+		v = permuteView(v, idx)
+	}
 
 	gap := int64(a.opt.PhaseGap)
 	var phases []IOPhaseEntity
-	var cur []int
+	lo := 0
 	var curEnd int64
-	flush := func() {
-		if len(cur) == 0 {
-			return
+	for i := 0; i < v.n; i++ {
+		if i > lo && v.start[i]-curEnd > gap {
+			phases = append(phases, a.buildPhase(len(phases), v, lo, i))
+			lo = i
 		}
-		phases = append(phases, a.buildPhase(len(phases), cur))
-		cur = nil
-	}
-	for _, i := range rows {
-		if len(cur) > 0 && a.tb.Start(i)-curEnd > gap {
-			flush()
-		}
-		cur = append(cur, i)
-		if a.tb.End(i) > curEnd {
-			curEnd = a.tb.End(i)
+		if v.end[i] > curEnd {
+			curEnd = v.end[i]
 		}
 	}
-	flush()
+	phases = append(phases, a.buildPhase(len(phases), v, lo, v.n))
 	return phases
 }
 
-func (a *analysis) buildPhase(idx int, rows []int) IOPhaseEntity {
-	data, meta := a.opCounts(rows)
+func (a *analysis) buildPhase(idx int, v *rowView, lo, hi int) IOPhaseEntity {
+	data, meta := opCounts(v, lo, hi)
 	dPct, mPct := pcts(data, meta)
 	var bytes int64
 	ranks := map[int32]bool{}
-	minS, maxE := a.tb.Start(rows[0]), int64(0)
-	for _, i := range rows {
-		if a.tb.IsData(i) {
-			bytes += a.tb.Size(i)
+	minS, maxE := v.start[lo], int64(0)
+	for i := lo; i < hi; i++ {
+		if trace.Op(v.op[i]).IsData() {
+			bytes += v.size[i]
 		}
-		ranks[a.tb.Rank(i)] = true
-		if a.tb.Start(i) < minS {
-			minS = a.tb.Start(i)
+		// Consecutive rows usually share a rank; the set only needs a map
+		// write when the rank changes.
+		if r := v.rank[i]; i == lo || r != v.rank[i-1] {
+			ranks[r] = true
 		}
-		if a.tb.End(i) > maxE {
-			maxE = a.tb.End(i)
+		if v.start[i] < minS {
+			minS = v.start[i]
+		}
+		if v.end[i] > maxE {
+			maxE = v.end[i]
 		}
 	}
-	opsPerRank := float64(len(rows)) / float64(len(ranks))
-	granule := a.dominantSize(rows, trace.OpRead)
-	if g := a.dominantSize(rows, trace.OpWrite); granule == 0 || (g != 0 && data > 0 && g > 0 && a.countOp(rows, trace.OpWrite) > a.countOp(rows, trace.OpRead)) {
+	opsPerRank := float64(hi-lo) / float64(len(ranks))
+	granule := dominantSize(v, lo, hi, trace.OpRead)
+	if g := dominantSize(v, lo, hi, trace.OpWrite); granule == 0 || (g != 0 && data > 0 && g > 0 && countOp(v, lo, hi, trace.OpWrite) > countOp(v, lo, hi, trace.OpRead)) {
 		granule = g
 	}
 	return IOPhaseEntity{
@@ -1081,10 +1195,11 @@ func (a *analysis) buildPhase(idx int, rows []int) IOPhaseEntity {
 	}
 }
 
-func (a *analysis) countOp(rows []int, op trace.Op) int64 {
+// countOp counts rows of one op over a view range.
+func countOp(v *rowView, lo, hi int, op trace.Op) int64 {
 	var n int64
-	for _, i := range rows {
-		if trace.Op(a.tb.Op(i)) == op {
+	for i := lo; i < hi; i++ {
+		if trace.Op(v.op[i]) == op {
 			n++
 		}
 	}
@@ -1136,10 +1251,10 @@ func (a *analysis) highLevel() HighLevelIOEntity {
 	return HighLevelIOEntity{
 		DataRepr: repr,
 		Granularity: Granularity{
-			Read:  a.dominantSize(a.primary, trace.OpRead),
-			Write: a.dominantSize(a.primary, trace.OpWrite),
+			Read:  dominantSize(a.primaryV, 0, a.primaryV.n, trace.OpRead),
+			Write: dominantSize(a.primaryV, 0, a.primaryV.n, trace.OpWrite),
 		},
-		AccessPattern: a.accessPattern(a.primary),
+		AccessPattern: accessPattern(a.primaryV),
 		DataDist:      a.dataDist(),
 	}
 }
@@ -1166,11 +1281,11 @@ func (a *analysis) middleware() MiddlewareIOEntity {
 	return MiddlewareIOEntity{
 		ExtraIOCoresPerNode: extra,
 		Granularity: Granularity{
-			Read:  a.dominantSize(a.posix, trace.OpRead),
-			Write: a.dominantSize(a.posix, trace.OpWrite),
+			Read:  dominantSize(a.posixV, 0, a.posixV.n, trace.OpRead),
+			Write: dominantSize(a.posixV, 0, a.posixV.n, trace.OpWrite),
 		},
 		MemPerNodeGB:  a.tr.Meta.MemPerNodeGB,
-		AccessPattern: a.accessPattern(a.posix),
+		AccessPattern: accessPattern(a.posixV),
 	}
 }
 
@@ -1222,7 +1337,7 @@ func (a *analysis) dataset() DatasetEntity {
 		SizeBytes:    totalSize,
 		NumFiles:     len(a.fileAgg),
 		IOBytes:      io,
-		IOTime:       a.unionDuration(a.primary),
+		IOTime:       unionDuration(a.primaryV),
 		DataOpsPct:   dPct,
 		MetaOpsPct:   mPct,
 		DataFileSize: dataFileSize,

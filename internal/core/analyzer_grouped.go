@@ -48,12 +48,16 @@ type pass1g struct {
 
 // pass2g is the dense per-chunk partial of the fused characterization
 // scan: byApp, files, perRank and rankHit replace the fallback's maps,
-// indexed by value+1. Row lists still concatenate in chunk order and the
-// fileAgg internals are unchanged, so merged results are bit-identical.
+// indexed by value+1. The row subsets are emitted as constant-key
+// segments (rowSeg) rather than row lists — the same rows in the same
+// order, carrying the key span's file/rank so the post passes gather and
+// batch on whole runs. Segment lists still concatenate in chunk order
+// and the fileAgg internals are unchanged, so merged results are
+// bit-identical.
 type pass2g struct {
-	primary    []int
-	posix      []int
-	byApp      [][]int
+	primary    []rowSeg
+	posix      []rowSeg
+	byApp      [][]rowSeg
 	files      []*fileAgg
 	readBytes  int64
 	writeBytes int64
@@ -232,6 +236,7 @@ func (a *analysis) fusedScanGrouped() (bool, error) {
 		}
 		c := a.tb.ChunkAt(k)
 		spans, spanOK := a.tb.ChunkKeySpans(k, nil)
+		a.tb.TickAccumKernels(spanOK)
 		need := pass2Cols
 		if spanOK {
 			need = trace.ColOp | trace.ColSize | trace.ColStart | trace.ColEnd
@@ -240,7 +245,7 @@ func (a *analysis) fusedScanGrouped() (bool, error) {
 			return
 		}
 		p := &pass2g{
-			byApp:   make([][]int, appSlots),
+			byApp:   make([][]rowSeg, appSlots),
 			files:   make([]*fileAgg, fileSlots),
 			perRank: make([]rankAcc, rankSlots),
 			rankHit: make([]bool, rankSlots),
@@ -260,18 +265,19 @@ func (a *analysis) fusedScanGrouped() (bool, error) {
 		}
 	}
 
-	a.byApp = map[int32][]int{}
+	a.grouped = true
+	a.byAppSegs = map[int32][]rowSeg{}
 	a.fileAgg = map[int32]*fileAgg{}
 	a.readTL = stats.NewTimeline(span, bins)
 	a.writeTL = stats.NewTimeline(span, bins)
 	a.perRank = map[int32]*rankAcc{}
 	for _, p := range p2 {
-		a.primary = append(a.primary, p.primary...)
-		a.posix = append(a.posix, p.posix...)
-		for si, rows := range p.byApp {
-			if len(rows) > 0 {
+		a.primarySegs = append(a.primarySegs, p.primary...)
+		a.posixSegs = append(a.posixSegs, p.posix...)
+		for si, segs := range p.byApp {
+			if len(segs) > 0 {
 				app := int32(si - 1)
-				a.byApp[app] = append(a.byApp[app], rows...)
+				a.byAppSegs[app] = append(a.byAppSegs[app], segs...)
 			}
 		}
 		for si, fa := range p.files {
@@ -317,9 +323,11 @@ func (a *analysis) fusedScanGrouped() (bool, error) {
 
 // keySpanPass2 runs pass 2 over one chunk's stable-key spans: the primary
 // check, the file/rank accumulator lookups and the reader/writer set
-// updates happen once per span; only op dispatch and the Size/Start/End
-// accumulations stay per row, in unchanged row order, so every partial is
-// identical to the row loop's.
+// updates happen once per span; within a span the op dispatch is hoisted to
+// maximal same-op sub-runs, whose Size/Start/End accumulations run batched
+// through SizeHistogram.AddRun and Timeline.AddRuns. Every batched add is a
+// regrouped integer sum over the same rows in the same order, so every
+// partial is identical to the row loop's.
 func keySpanPass2(c *colstore.Chunk, spans []colstore.KeySpan, levels []uint16, fileSlots int, p *pass2g) {
 	for _, s := range spans {
 		isPosix := trace.Level(s.Level) == trace.LevelPosix
@@ -329,78 +337,118 @@ func keySpanPass2(c *colstore.Chunk, spans []colstore.KeySpan, levels []uint16, 
 		}
 		var fa *fileAgg
 		var sawRead, sawWrite bool
-		rows := p.byApp[int(s.App)+1]
+		segs := p.byApp[int(s.App)+1]
 		rslot := int(s.Rank) + 1
 		acc := &p.perRank[rslot]
-		for j := s.Lo; j < s.Hi; j++ {
+		for j := s.Lo; j < s.Hi; {
 			op := trace.Op(c.Op[j])
+			j2 := j + 1
+			for j2 < s.Hi && c.Op[j2] == c.Op[j] {
+				j2++
+			}
 			if !op.IsIO() {
+				j = j2
 				continue
 			}
-			i := c.Base + j
+			seg := rowSeg{lo: c.Base + j, hi: c.Base + j2, file: s.File, rank: s.Rank}
 			if isPosix {
-				p.posix = append(p.posix, i)
+				p.posix = appendSeg(p.posix, seg)
 			}
 			if !isPrim {
+				j = j2
 				continue
 			}
-			p.primary = append(p.primary, i)
-			rows = append(rows, i)
-			dur := c.End[j] - c.Start[j]
+			p.primary = appendSeg(p.primary, seg)
+			segs = appendSeg(segs, seg)
+			cnt := int64(j2 - j)
 			if op.IsData() {
-				p.data++
+				p.data += cnt
 			} else if op.IsMeta() {
-				p.meta++
+				p.meta += cnt
 			}
-			if s.File >= 0 {
+			if s.File >= 0 && fa == nil {
+				fa = p.files[int(s.File)+1]
 				if fa == nil {
-					fa = p.files[int(s.File)+1]
-					if fa == nil {
-						fa = newFileAgg(s.File)
-						p.files[int(s.File)+1] = fa
-					}
-					fa.ranks[s.Rank] = true
+					fa = newFileAgg(s.File)
+					p.files[int(s.File)+1] = fa
 				}
-				fa.ioDur += time.Duration(dur)
+				fa.ranks[s.Rank] = true
 			}
 			p.rankHit[rslot] = true
 			switch op {
 			case trace.OpRead:
-				sz := c.Size[j]
-				p.readBytes += sz
-				p.readHist.Add(sz, time.Duration(dur))
-				p.readTL.Add(time.Duration(c.Start[j]), time.Duration(c.End[j]), sz)
-				acc.rBytes += sz
-				acc.rDur += dur
+				var runBytes, runDur int64
+				for i := j; i < j2; {
+					sz := c.Size[i]
+					dsum := c.End[i] - c.Start[i]
+					i2 := i + 1
+					for i2 < j2 && c.Size[i2] == sz {
+						dsum += c.End[i2] - c.Start[i2]
+						i2++
+					}
+					runBytes += sz * int64(i2-i)
+					runDur += dsum
+					p.readHist.AddRun(sz, int64(i2-i), time.Duration(dsum))
+					i = i2
+				}
+				p.readBytes += runBytes
+				p.readTL.AddRuns(c.Start, c.End, c.Size, j, j2)
+				acc.rBytes += runBytes
+				acc.rDur += runDur
 				if fa != nil {
-					fa.bytesRead += sz
-					fa.dataOps++
+					fa.bytesRead += runBytes
+					fa.ioDur += time.Duration(runDur)
+					fa.dataOps += cnt
 					sawRead = true
 				}
 			case trace.OpWrite:
-				sz := c.Size[j]
-				p.writeBytes += sz
-				p.writeHist.Add(sz, time.Duration(dur))
-				p.writeTL.Add(time.Duration(c.Start[j]), time.Duration(c.End[j]), sz)
-				acc.wBytes += sz
-				acc.wDur += dur
+				var runBytes, runDur int64
+				for i := j; i < j2; {
+					sz := c.Size[i]
+					dsum := c.End[i] - c.Start[i]
+					i2 := i + 1
+					for i2 < j2 && c.Size[i2] == sz {
+						dsum += c.End[i2] - c.Start[i2]
+						i2++
+					}
+					runBytes += sz * int64(i2-i)
+					runDur += dsum
+					p.writeHist.AddRun(sz, int64(i2-i), time.Duration(dsum))
+					i = i2
+				}
+				p.writeBytes += runBytes
+				p.writeTL.AddRuns(c.Start, c.End, c.Size, j, j2)
+				acc.wBytes += runBytes
+				acc.wDur += runDur
 				if fa != nil {
-					fa.bytesWritten += sz
-					fa.dataOps++
+					fa.bytesWritten += runBytes
+					fa.ioDur += time.Duration(runDur)
+					fa.dataOps += cnt
 					sawWrite = true
 				}
 			case trace.OpOpen:
 				if fa != nil {
-					fa.opens++
-					fa.metaOps++
+					var dsum int64
+					for i := j; i < j2; i++ {
+						dsum += c.End[i] - c.Start[i]
+					}
+					fa.ioDur += time.Duration(dsum)
+					fa.opens += cnt
+					fa.metaOps += cnt
 				}
 			default:
 				if fa != nil {
-					fa.metaOps++
+					var dsum int64
+					for i := j; i < j2; i++ {
+						dsum += c.End[i] - c.Start[i]
+					}
+					fa.ioDur += time.Duration(dsum)
+					fa.metaOps += cnt
 				}
 			}
+			j = j2
 		}
-		p.byApp[int(s.App)+1] = rows
+		p.byApp[int(s.App)+1] = segs
 		if fa != nil {
 			if sawRead {
 				fa.readerRanks[s.Rank] = true
@@ -425,15 +473,16 @@ func rowPass2g(c *colstore.Chunk, levels []uint16, fileSlots int, p *pass2g) {
 			continue
 		}
 		i := c.Base + j
+		seg := rowSeg{lo: i, hi: i + 1, file: c.File[j], rank: c.Rank[j]}
 		if trace.Level(c.Level[j]) == trace.LevelPosix {
-			p.posix = append(p.posix, i)
+			p.posix = appendSeg(p.posix, seg)
 		}
 		if uint16(c.Level[j])+1 != levels[(int(c.App[j])+1)*fileSlots+int(c.File[j])+1] {
 			continue
 		}
-		p.primary = append(p.primary, i)
+		p.primary = appendSeg(p.primary, seg)
 		asl := int(c.App[j]) + 1
-		p.byApp[asl] = append(p.byApp[asl], i)
+		p.byApp[asl] = appendSeg(p.byApp[asl], seg)
 		dur := c.End[j] - c.Start[j]
 		if op.IsData() {
 			p.data++

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"vani/internal/colstore"
+	"vani/internal/trace"
+)
+
+// Post-pass row access. The fused scan produces row subsets (primary
+// rows, POSIX-level rows, per-app rows) that the post passes revisit many
+// times across many columns. A rowView gathers such a subset into dense
+// columnar slices once, so every revisit is a flat array walk instead of
+// a per-row chunk lookup through the Table accessors. The grouped scan
+// additionally emits its row sets as rowSegs — contiguous runs carrying
+// the enclosing key span's constant file and rank — which lets the
+// gather copy whole slices and the access-pattern pass hoist its per-row
+// stream-map traffic to segment boundaries. Every segment-batched pass
+// consumes the same rows in the same order as the per-row form, so the
+// characterization is byte-identical whether segments are present or not.
+
+// rowSeg is a contiguous run of collected rows sharing one file and rank
+// (op still varies within a segment — it fragments far too finely to key
+// segments on). In the scan partials lo/hi are global row indices; a
+// gathered rowView rewrites them to view-relative positions. Segments
+// never span a chunk boundary (each partial emits its own chunk's rows).
+type rowSeg struct {
+	lo, hi int
+	file   int32
+	rank   int32
+}
+
+// appendSeg appends a segment, coalescing it into the previous one when
+// the runs touch and the keys match — per-row emission and adjacent
+// sub-runs of one key span both produce touching segments, so primary
+// segments coalesce to roughly one per key span.
+func appendSeg(segs []rowSeg, s rowSeg) []rowSeg {
+	if n := len(segs); n > 0 {
+		p := &segs[n-1]
+		if p.hi == s.lo && p.file == s.file && p.rank == s.rank {
+			p.hi = s.hi
+			return segs
+		}
+	}
+	return append(segs, s)
+}
+
+// rowView is the gathered columnar image of one row list. Only the
+// columns requested at build time are non-nil; segs is nil when the view
+// was gathered from a plain row list (the map-keyed fallback scan).
+type rowView struct {
+	n     int
+	segs  []rowSeg
+	op    []uint8
+	lib   []uint8
+	rank  []int32
+	file  []int32
+	off   []int64
+	size  []int64
+	start []int64
+	end   []int64
+}
+
+func (v *rowView) alloc(cols trace.ColSet, n int) {
+	if cols&trace.ColOp != 0 {
+		v.op = make([]uint8, 0, n)
+	}
+	if cols&trace.ColLib != 0 {
+		v.lib = make([]uint8, 0, n)
+	}
+	if cols&trace.ColRank != 0 {
+		v.rank = make([]int32, 0, n)
+	}
+	if cols&trace.ColFile != 0 {
+		v.file = make([]int32, 0, n)
+	}
+	if cols&trace.ColOffset != 0 {
+		v.off = make([]int64, 0, n)
+	}
+	if cols&trace.ColSize != 0 {
+		v.size = make([]int64, 0, n)
+	}
+	if cols&trace.ColStart != 0 {
+		v.start = make([]int64, 0, n)
+	}
+	if cols&trace.ColEnd != 0 {
+		v.end = make([]int64, 0, n)
+	}
+}
+
+// chunkCursor resolves ascending global row indices to (chunk, offset)
+// with one chunk hop per transition instead of a lookup per call. Every
+// gathered row list is globally ascending (partials concatenate in chunk
+// order with in-chunk appends in row order).
+type chunkCursor struct {
+	tb *colstore.Table
+	k  int
+	c  *colstore.Chunk
+}
+
+func (cc *chunkCursor) at(i int) (*colstore.Chunk, int) {
+	for cc.c == nil || i >= cc.c.Base+cc.c.N {
+		cc.k++
+		cc.c = cc.tb.ChunkAt(cc.k)
+	}
+	return cc.c, i - cc.c.Base
+}
+
+// viewRows gathers a plain row list. The requested columns must already
+// be materialized (run() materializes postCols before any view is built).
+func (a *analysis) viewRows(rows []int, cols trace.ColSet) *rowView {
+	v := &rowView{n: len(rows)}
+	v.alloc(cols, len(rows))
+	cc := chunkCursor{tb: a.tb, k: -1}
+	for _, i := range rows {
+		c, j := cc.at(i)
+		if v.op != nil {
+			v.op = append(v.op, c.Op[j])
+		}
+		if v.lib != nil {
+			v.lib = append(v.lib, c.Lib[j])
+		}
+		if v.rank != nil {
+			v.rank = append(v.rank, c.Rank[j])
+		}
+		if v.file != nil {
+			v.file = append(v.file, c.File[j])
+		}
+		if v.off != nil {
+			v.off = append(v.off, c.Offset[j])
+		}
+		if v.size != nil {
+			v.size = append(v.size, c.Size[j])
+		}
+		if v.start != nil {
+			v.start = append(v.start, c.Start[j])
+		}
+		if v.end != nil {
+			v.end = append(v.end, c.End[j])
+		}
+	}
+	return v
+}
+
+// viewSegs gathers a segment list: columns copy in bulk slices rather
+// than row by row, and the segments ride along rebased to view positions.
+func (a *analysis) viewSegs(segs []rowSeg, cols trace.ColSet) *rowView {
+	n := 0
+	for _, s := range segs {
+		n += s.hi - s.lo
+	}
+	v := &rowView{n: n, segs: make([]rowSeg, 0, len(segs))}
+	v.alloc(cols, n)
+	cc := chunkCursor{tb: a.tb, k: -1}
+	pos := 0
+	for _, s := range segs {
+		c, j := cc.at(s.lo)
+		ln := s.hi - s.lo
+		if v.op != nil {
+			v.op = append(v.op, c.Op[j:j+ln]...)
+		}
+		if v.lib != nil {
+			v.lib = append(v.lib, c.Lib[j:j+ln]...)
+		}
+		if v.rank != nil {
+			v.rank = append(v.rank, c.Rank[j:j+ln]...)
+		}
+		if v.file != nil {
+			v.file = append(v.file, c.File[j:j+ln]...)
+		}
+		if v.off != nil {
+			v.off = append(v.off, c.Offset[j:j+ln]...)
+		}
+		if v.size != nil {
+			v.size = append(v.size, c.Size[j:j+ln]...)
+		}
+		if v.start != nil {
+			v.start = append(v.start, c.Start[j:j+ln]...)
+		}
+		if v.end != nil {
+			v.end = append(v.end, c.End[j:j+ln]...)
+		}
+		v.segs = append(v.segs, rowSeg{lo: pos, hi: pos + ln, file: s.file, rank: s.rank})
+		pos += ln
+	}
+	return v
+}
+
+// permuteView reorders a view by idx (for the phases guard sort on
+// tables built from unsorted traces). Segment structure does not survive
+// a reorder, so the result is always seg-free.
+func permuteView(v *rowView, idx []int) *rowView {
+	out := &rowView{n: v.n}
+	if v.op != nil {
+		out.op = make([]uint8, v.n)
+		for i, j := range idx {
+			out.op[i] = v.op[j]
+		}
+	}
+	if v.lib != nil {
+		out.lib = make([]uint8, v.n)
+		for i, j := range idx {
+			out.lib[i] = v.lib[j]
+		}
+	}
+	if v.rank != nil {
+		out.rank = make([]int32, v.n)
+		for i, j := range idx {
+			out.rank[i] = v.rank[j]
+		}
+	}
+	if v.file != nil {
+		out.file = make([]int32, v.n)
+		for i, j := range idx {
+			out.file[i] = v.file[j]
+		}
+	}
+	if v.off != nil {
+		out.off = make([]int64, v.n)
+		for i, j := range idx {
+			out.off[i] = v.off[j]
+		}
+	}
+	if v.size != nil {
+		out.size = make([]int64, v.n)
+		for i, j := range idx {
+			out.size[i] = v.size[j]
+		}
+	}
+	if v.start != nil {
+		out.start = make([]int64, v.n)
+		for i, j := range idx {
+			out.start[i] = v.start[j]
+		}
+	}
+	if v.end != nil {
+		out.end = make([]int64, v.n)
+		for i, j := range idx {
+			out.end[i] = v.end[j]
+		}
+	}
+	return out
+}
+
+// The column sets each post-pass family reads; views gather exactly
+// these so the gather cost tracks what the passes actually touch.
+const (
+	// primaryViewCols serves phases, the I/O-time interval union, the
+	// high-level granularities and the access-pattern classification.
+	primaryViewCols = trace.ColOp | trace.ColSize | trace.ColStart |
+		trace.ColEnd | trace.ColRank | trace.ColFile | trace.ColOffset
+	// posixViewCols serves the middleware granularity and access pattern.
+	posixViewCols = trace.ColOp | trace.ColSize | trace.ColFile |
+		trace.ColRank | trace.ColOffset
+	// appViewCols serves the per-app op mix, byte/runtime tallies and
+	// interface resolution.
+	appViewCols = trace.ColOp | trace.ColSize | trace.ColStart |
+		trace.ColEnd | trace.ColLib
+)

@@ -1,0 +1,142 @@
+package stats
+
+// The run-aware accumulators must be byte-identical to their per-row
+// forms: AddRuns to row-by-row Timeline.Add calls, AddRun to n repeated
+// SizeHistogram.Add calls. The tests drive both over adversarial inputs —
+// swapped endpoints, negative starts and ends, ends past the span, rows
+// starting at or past the span, zero and negative sizes, zero durations,
+// and rows landing exactly on bin boundaries — as well as the sorted
+// bursty shape real traces produce.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func timelinesEqual(a, b *Timeline) bool {
+	if len(a.Bytes) != len(b.Bytes) {
+		return false
+	}
+	for i := range a.Bytes {
+		if a.Bytes[i] != b.Bytes[i] || a.Ops[i] != b.Ops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// adversarialRows builds row sets hitting every clamp and branch of
+// Timeline.Add for the given span.
+func adversarialRows(rng *rand.Rand, span int64, n int) (start, end, size []int64) {
+	start = make([]int64, n)
+	end = make([]int64, n)
+	size = make([]int64, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0: // swapped endpoints
+			start[i] = rng.Int63n(span)
+			end[i] = start[i] - rng.Int63n(span/2+1)
+		case 1: // negative start
+			start[i] = -rng.Int63n(span)
+			end[i] = rng.Int63n(span)
+		case 2: // both endpoints negative
+			end[i] = -rng.Int63n(span) - 1
+			start[i] = end[i] - rng.Int63n(span/4+1)
+		case 3: // end past the span
+			start[i] = rng.Int63n(span)
+			end[i] = span + rng.Int63n(span)
+		case 4: // start at or past the span (Add ignores the row)
+			start[i] = span + rng.Int63n(span)
+			end[i] = start[i] + rng.Int63n(span)
+		case 5: // zero duration
+			start[i] = rng.Int63n(span)
+			end[i] = start[i]
+		case 6: // exactly on a bin boundary
+			w := span / 16
+			if w == 0 {
+				w = 1
+			}
+			start[i] = rng.Int63n(16) * w
+			end[i] = start[i] + rng.Int63n(2)*w
+		default:
+			start[i] = rng.Int63n(span)
+			end[i] = start[i] + rng.Int63n(span/4+1)
+		}
+		size[i] = rng.Int63n(1<<14) - 2 // includes negatives and zero
+	}
+	return
+}
+
+func TestTimelineAddRunsMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shapes := []struct {
+		span time.Duration
+		bins int
+	}{
+		{time.Second, 48},
+		{time.Second, 1},
+		{1000 * time.Nanosecond, 7}, // span not divisible by bins
+		{17 * time.Nanosecond, 5},   // tiny width, heavy clamping
+	}
+	for _, sh := range shapes {
+		for trial := 0; trial < 20; trial++ {
+			start, end, size := adversarialRows(rng, int64(sh.span), 512)
+			if trial%2 == 1 {
+				// Sorted starts: the bursty, mostly-single-bin shape the
+				// analyzer actually feeds, where the cached bin pays off.
+				sort.Slice(start, func(i, j int) bool { return start[i] < start[j] })
+				for i := range end {
+					end[i] = start[i] + end[i]%(int64(sh.span)/8+1)
+				}
+			}
+			want := NewTimeline(sh.span, sh.bins)
+			for i := range start {
+				want.Add(time.Duration(start[i]), time.Duration(end[i]), size[i])
+			}
+			got := NewTimeline(sh.span, sh.bins)
+			got.AddRuns(start, end, size, 0, len(start))
+			if !timelinesEqual(want, got) {
+				t.Fatalf("span=%v bins=%d trial=%d: AddRuns diverged from Add\n got ops %v bytes %v\nwant ops %v bytes %v",
+					sh.span, sh.bins, trial, got.Ops, got.Bytes, want.Ops, want.Bytes)
+			}
+		}
+	}
+}
+
+func TestTimelineAddRunsSubrange(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	start, end, size := adversarialRows(rng, int64(time.Second), 256)
+	want := NewTimeline(time.Second, 24)
+	for i := 40; i < 200; i++ {
+		want.Add(time.Duration(start[i]), time.Duration(end[i]), size[i])
+	}
+	got := NewTimeline(time.Second, 24)
+	got.AddRuns(start, end, size, 40, 200)
+	if !timelinesEqual(want, got) {
+		t.Fatal("AddRuns over a subrange diverged from Add over the same rows")
+	}
+}
+
+func TestSizeHistogramAddRunMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	var want, got SizeHistogram
+	for trial := 0; trial < 200; trial++ {
+		size := rng.Int63n(1<<30) - 4 // negative, zero, and bucket-spanning sizes
+		n := rng.Int63n(9) + 1
+		durs := make([]time.Duration, n)
+		var total time.Duration
+		for i := range durs {
+			durs[i] = time.Duration(rng.Int63n(1 << 20))
+			total += durs[i]
+		}
+		for _, d := range durs {
+			want.Add(size, d)
+		}
+		got.AddRun(size, n, total)
+	}
+	if want != got {
+		t.Fatalf("AddRun diverged from repeated Add:\n got %+v\nwant %+v", got, want)
+	}
+}

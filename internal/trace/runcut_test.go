@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveCutRuns is the reference: expand runs to one value per row, gather
+// the selected rows, and re-run-length-encode with adjacent coalescing —
+// exactly the contract CutRuns implements without the expansion.
+func naiveCutRuns(runs []Run, sel []int32) []Run {
+	var vals []int64
+	for _, r := range runs {
+		for i := int32(0); i < r.N; i++ {
+			vals = append(vals, r.Val)
+		}
+	}
+	var out []Run
+	for _, s := range sel {
+		v := vals[s]
+		if n := len(out); n > 0 && out[n-1].Val == v {
+			out[n-1].N++
+		} else {
+			out = append(out, Run{Val: v, N: 1})
+		}
+	}
+	return out
+}
+
+func runsEqual(a, b []Run) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAppendSelSpans: selection vectors compress to maximal consecutive
+// spans, including the degenerate shapes the scan produces — empty
+// selections never reach the cut (chunks with zero kept rows are dropped),
+// but single rows and full chunks do.
+func TestAppendSelSpans(t *testing.T) {
+	cases := []struct {
+		name string
+		sel  []int32
+		want []SelSpan
+	}{
+		{"empty", nil, nil},
+		{"single-row", []int32{7}, []SelSpan{{7, 1}}},
+		{"full-chunk", []int32{0, 1, 2, 3, 4}, []SelSpan{{0, 5}}},
+		{"gaps", []int32{0, 1, 5, 6, 7, 9}, []SelSpan{{0, 2}, {5, 3}, {9, 1}}},
+		{"alternating", []int32{1, 3, 5}, []SelSpan{{1, 1}, {3, 1}, {5, 1}}},
+	}
+	for _, c := range cases {
+		got := AppendSelSpans(c.sel, nil)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: AppendSelSpans = %v, want %v", c.name, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: AppendSelSpans = %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+}
+
+// TestCutRunsDegenerate pins the edge shapes the fuzz corpus seeds: empty
+// selections, single kept rows, selections keeping every row (the cut must
+// reproduce the input runs), cuts that split one run across spans (the
+// pieces re-coalesce) and cuts whose span gap separates equal values (they
+// still coalesce — kept rows are renumbered contiguously).
+func TestCutRunsDegenerate(t *testing.T) {
+	runs := []Run{{Val: 3, N: 4}, {Val: 5, N: 2}, {Val: 3, N: 3}}
+	cases := []struct {
+		name string
+		sel  []int32
+	}{
+		{"empty", nil},
+		{"single-row-first", []int32{0}},
+		{"single-row-last", []int32{8}},
+		{"full-chunk", []int32{0, 1, 2, 3, 4, 5, 6, 7, 8}},
+		{"split-one-run", []int32{0, 2}},
+		{"bridge-gap-same-val", []int32{3, 6}}, // val 3 both sides of the 5s
+		{"bridge-gap-diff-val", []int32{3, 4}},
+		{"every-other", []int32{0, 2, 4, 6, 8}},
+	}
+	for _, c := range cases {
+		spans := AppendSelSpans(c.sel, nil)
+		got := CutRuns(runs, spans, nil, 0)
+		want := naiveCutRuns(runs, c.sel)
+		if !runsEqual(got, want) {
+			t.Errorf("%s: CutRuns = %v, want %v", c.name, got, want)
+		}
+		if capped := CutRuns(runs, spans, nil, len(want)+1); !runsEqual(capped, want) {
+			t.Errorf("%s: bounded CutRuns = %v, want %v", c.name, capped, want)
+		}
+		if len(want) > 1 { // max 0 means unbounded, so only a real bound can refuse
+			if over := CutRuns(runs, spans, nil, len(want)-1); over != nil {
+				t.Errorf("%s: CutRuns over its bound returned %v, want nil", c.name, over)
+			}
+		}
+		var total int32
+		for _, r := range got {
+			total += r.N
+		}
+		if int(total) != len(c.sel) {
+			t.Errorf("%s: cut runs cover %d rows, want %d", c.name, total, len(c.sel))
+		}
+	}
+}
+
+// FuzzCutRuns drives CutRuns against the expand-gather-reencode reference
+// with arbitrary run shapes and selection strides.
+func FuzzCutRuns(f *testing.F) {
+	f.Add([]byte{}, []byte{})                            // no runs, empty selection
+	f.Add([]byte{0x20}, []byte{0})                       // single run, single row
+	f.Add([]byte{0x3f, 0x81, 0x3f}, []byte{0, 0, 0, 0})  // full coverage, stride 1
+	f.Add([]byte{0xff, 0x00, 0x7a}, []byte{3, 9, 1, 27}) // ragged strides
+	f.Fuzz(func(t *testing.T, runBytes, selBytes []byte) {
+		if len(runBytes) > 64 || len(selBytes) > 256 {
+			return
+		}
+		var runs []Run
+		total := int32(0)
+		for _, b := range runBytes {
+			r := Run{Val: int64(b >> 5), N: int32(b&31) + 1}
+			runs = append(runs, r)
+			total += r.N
+		}
+		var sel []int32
+		cur := int32(-1)
+		for _, b := range selBytes {
+			cur += int32(b%7) + 1
+			if cur >= total {
+				break
+			}
+			sel = append(sel, cur)
+		}
+		spans := AppendSelSpans(sel, nil)
+		got := CutRuns(runs, spans, nil, 0)
+		want := naiveCutRuns(runs, sel)
+		if !runsEqual(got, want) {
+			t.Fatalf("runs %v sel %v: CutRuns = %v, want %v", runs, sel, got, want)
+		}
+		if len(want) > 0 {
+			if capped := CutRuns(runs, spans, nil, len(want)); !runsEqual(capped, want) {
+				t.Fatalf("runs %v sel %v: bounded CutRuns = %v, want %v", runs, sel, capped, want)
+			}
+		}
+		if len(want) > 1 { // max 0 means unbounded, so only a real bound can refuse
+			if over := CutRuns(runs, spans, nil, len(want)-1); over != nil {
+				t.Fatalf("runs %v sel %v: CutRuns over its bound returned %v", runs, sel, over)
+			}
+		}
+	})
+}
+
+// TestCutRunsSelEquivalence pins the streaming cut against the
+// materialize-then-cut reference on every run-capable codec: for random
+// value streams (run-structured, per-row-dense, constant) and random
+// selections (contiguous, scattered, empty, whole-block), CutRunsSel must
+// produce exactly CutRuns(AppendRuns(nil), spans, nil, max) — same runs,
+// same over-bound verdict, at every bound including the degenerate ones.
+func TestCutRunsSelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	codecs := []uint8{segRLE, segDict, segFOR}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]int64, n)
+		switch trial % 4 {
+		case 0: // run-structured
+			v := int64(rng.Intn(5))
+			for i := range vals {
+				if rng.Intn(8) == 0 {
+					v = int64(rng.Intn(5))
+				}
+				vals[i] = v
+			}
+		case 1: // per-row-dense
+			for i := range vals {
+				vals[i] = int64(rng.Intn(1000))
+			}
+		case 2: // constant
+			v := int64(rng.Intn(100))
+			for i := range vals {
+				vals[i] = v
+			}
+		case 3: // alternating pair (worst-case churn)
+			for i := range vals {
+				vals[i] = int64(i % 2)
+			}
+		}
+		var spans []SelSpan
+		row := int32(0)
+		for int(row) < n && len(spans) < 20 {
+			row += int32(rng.Intn(20))
+			if int(row) >= n {
+				break
+			}
+			ln := int32(1 + rng.Intn(30))
+			if int(row+ln) > n {
+				ln = int32(n) - row
+			}
+			spans = append(spans, SelSpan{Lo: row, N: ln})
+			row += ln
+		}
+		for _, codec := range codecs {
+			body := appendSegBody(nil, codec, vals, false)
+			for _, max := range []int{0, 1, 2, n / 4, n, 3 * n} {
+				cur, err := newSegCursor(codec, body, n, false)
+				if err != nil {
+					t.Fatalf("%s cursor: %v", segCodecNames[codec], err)
+				}
+				ref := CutRuns(cur.AppendRuns(nil), spans, nil, max)
+				refOK := !(max > 0 && ref == nil && countCutRuns(cur.AppendRuns(nil), spans, max) > max)
+				got, ok := cur.CutRunsSel(spans, nil, max)
+				cur.Release()
+				if ok != refOK {
+					t.Fatalf("%s trial %d max %d: ok=%v want %v", segCodecNames[codec], trial, max, ok, refOK)
+				}
+				if !ok {
+					continue
+				}
+				if len(got) != len(ref) {
+					t.Fatalf("%s trial %d max %d: %d runs, want %d\n got %v\nwant %v",
+						segCodecNames[codec], trial, max, len(got), len(ref), got, ref)
+				}
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("%s trial %d max %d: run %d = %+v, want %+v",
+							segCodecNames[codec], trial, max, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAppendRunsMaxBound pins the bounded run materialization: under the
+// bound the output matches AppendRuns exactly; over it the walk reports
+// !ok with dst returned at its prior length.
+func TestAppendRunsMaxBound(t *testing.T) {
+	vals := make([]int64, 64)
+	for i := range vals {
+		vals[i] = int64(i % 7) // 64 runs of length 1 except the coalesced none
+	}
+	for _, codec := range []uint8{segRLE, segDict, segFOR} {
+		body := appendSegBody(nil, codec, vals, false)
+		cur, err := newSegCursor(codec, body, len(vals), false)
+		if err != nil {
+			t.Fatalf("%s cursor: %v", segCodecNames[codec], err)
+		}
+		full := cur.AppendRuns(nil)
+		if got, ok := cur.AppendRunsMax(nil, len(full)); !ok || len(got) != len(full) {
+			t.Fatalf("%s: max=len(full) refused (ok=%v got %d want %d)", segCodecNames[codec], ok, len(got), len(full))
+		}
+		prior := []Run{{Val: -99, N: 1}}
+		got, ok := cur.AppendRunsMax(prior, len(full)-1)
+		if ok {
+			t.Fatalf("%s: max=len(full)-1 accepted %d runs", segCodecNames[codec], len(got))
+		}
+		if len(got) != 1 || got[0] != prior[0] {
+			t.Fatalf("%s: over-bound dst not truncated to prior content: %v", segCodecNames[codec], got)
+		}
+		cur.Release()
+	}
+}

@@ -273,6 +273,25 @@ func (m *Matcher) NeedCols() ColSet {
 	return s
 }
 
+// NeedColsBlock returns NeedCols reduced by the block's index entry: a
+// dimension whose footer statistics prove every row in the block passes
+// drops out of the constrained set for that block. Today the reduction
+// covers the time window — a block whose [MinStart, MaxStart] lies inside
+// [from, to] passes the window wholesale, which turns a window+value
+// filter into a pure value filter for every interior block of a
+// time-sorted trace, so the compressed-domain selection paths (and the
+// selection-backed run re-cut behind them) fire where a per-row Start
+// test used to force materialization. Boundary blocks, straddling a
+// window edge, keep ColStart and test their rows exactly.
+func (m *Matcher) NeedColsBlock(bi BlockInfo) ColSet {
+	need := m.NeedCols()
+	if need&ColStart != 0 && bi.Count > 0 &&
+		int64(bi.MinStart) >= m.fromNS && int64(bi.MaxStart) <= m.toNS {
+		need &^= ColStart
+	}
+	return need
+}
+
 // AcceptStart evaluates the time-window dimension alone.
 func (m *Matcher) AcceptStart(startNS int64) bool {
 	return startNS >= m.fromNS && startNS <= m.toNS

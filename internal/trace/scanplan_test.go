@@ -126,6 +126,62 @@ func TestSkipBlockConservative(t *testing.T) {
 	}
 }
 
+// TestNeedColsBlockConservative: the per-block reduction soundness
+// contract — whenever NeedColsBlock drops the window dimension for a
+// block, every event in that block must pass the window; and it must
+// actually bite — a window containing the whole log reduces every block
+// to its value dimensions, while a window cutting the log interior leaves
+// boundary blocks constrained and frees fully-contained ones.
+func TestNeedColsBlockConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tr := randomTrace(rng, 3000)
+	data := encodeV2(t, tr, V2Options{BlockEvents: 256})
+	br, err := NewBlockReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range testFilters() {
+		m := f.NewMatcher()
+		for k := 0; k < br.NumBlocks(); k++ {
+			need := m.NeedColsBlock(br.BlockAt(k))
+			full := m.NeedCols()
+			if need != full && need != full&^ColStart {
+				t.Fatalf("filter %d block %d: NeedColsBlock=%v not a ColStart-reduction of %v",
+					fi, k, need, full)
+			}
+			if full&ColStart != 0 && need&ColStart == 0 {
+				evs, err := br.DecodeEvents(k, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range evs {
+					if !m.AcceptStart(int64(evs[i].Start)) {
+						t.Fatalf("filter %d block %d: window dropped but event %d fails it", fi, k, i)
+					}
+				}
+			}
+		}
+	}
+	end := tr.Events[len(tr.Events)-1].Start
+	reduced := func(f Filter) (yes, no int) {
+		m := f.NewMatcher()
+		for k := 0; k < br.NumBlocks(); k++ {
+			if m.NeedColsBlock(br.BlockAt(k))&ColStart == 0 {
+				yes++
+			} else {
+				no++
+			}
+		}
+		return
+	}
+	if yes, no := reduced(Filter{To: 2 * end, Ranks: []int32{1}}); no != 0 || yes == 0 {
+		t.Errorf("containing window: %d blocks reduced, %d still constrained", yes, no)
+	}
+	if yes, no := reduced(Filter{From: end / 4, To: 3 * end / 4}); yes == 0 || no == 0 {
+		t.Errorf("interior window: want both reduced and constrained blocks, got %d/%d", yes, no)
+	}
+}
+
 // TestSkipBlockPrunes: the stats actually bite — a narrow time window over a
 // time-ordered log must prune most blocks, and a rank filter must prune
 // blocks under the v2.1 footer.

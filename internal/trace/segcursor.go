@@ -211,12 +211,36 @@ func (sc *SegCursor) Runs() []Run {
 // serves the run kernels just like RLE and dict do; pathological
 // high-cardinality cases are bounded by the callers' density caps.
 func (sc *SegCursor) AppendRuns(dst []Run) []Run {
+	dst, _ = sc.AppendRunsMax(dst, 0)
+	return dst
+}
+
+// AppendRunsMax is AppendRuns with the caller's density cap pushed down
+// into the decode: once more than max runs would be emitted the walk stops
+// and ok reports false, with dst returned truncated to its prior length —
+// so a dense segment (a FOR-packed column whose values alternate per row)
+// costs O(max) instead of a full run materialization that the caller would
+// drop anyway. max <= 0 means unbounded.
+func (sc *SegCursor) AppendRunsMax(dst []Run, max int) (runs []Run, ok bool) {
+	base := len(dst)
+	over := false
+	emit := func(r Run) bool {
+		if max > 0 && len(dst)-base >= max {
+			over = true
+			return false
+		}
+		dst = append(dst, r)
+		return true
+	}
 	switch sc.codec {
 	case segRLE:
-		return append(dst, sc.runs...)
+		if max > 0 && len(sc.runs) > max {
+			return dst, false
+		}
+		return append(dst, sc.runs...), true
 	case segFOR:
 		if sc.width == 0 {
-			return append(dst, Run{Val: sc.base, N: int32(sc.n)})
+			return append(dst, Run{Val: sc.base, N: int32(sc.n)}), true
 		}
 		b := uint64(sc.base)
 		var cur uint64
@@ -231,12 +255,14 @@ func (sc *SegCursor) AppendRuns(dst []Run) []Run {
 				run++
 				return true
 			}
-			dst = append(dst, Run{Val: int64(b + cur), N: run})
+			if !emit(Run{Val: int64(b + cur), N: run}) {
+				return false
+			}
 			cur, run = u, 1
 			return true
 		})
-		if !first {
-			dst = append(dst, Run{Val: int64(b + cur), N: run})
+		if !first && !over {
+			emit(Run{Val: int64(b + cur), N: run})
 		}
 	case segDict:
 		var cur uint64
@@ -251,15 +277,119 @@ func (sc *SegCursor) AppendRuns(dst []Run) []Run {
 				run++
 				return true
 			}
-			dst = append(dst, Run{Val: sc.dict[cur], N: run})
+			if !emit(Run{Val: sc.dict[cur], N: run}) {
+				return false
+			}
 			cur, run = u, 1
 			return true
 		})
-		if !first {
-			dst = append(dst, Run{Val: sc.dict[cur], N: run})
+		if !first && !over {
+			emit(Run{Val: sc.dict[cur], N: run})
 		}
 	}
-	return dst
+	if over {
+		return dst[:base], false
+	}
+	return dst, true
+}
+
+// CutRunsSel streams the segment's value runs cut against a selection's
+// spans: exactly CutRuns(sc.AppendRuns(nil), spans, dst, max), but fused
+// into the decode walk so the block-level run list never materializes —
+// peak extra memory is the bounded output, the walk stops the moment the
+// bound is passed or the last span is consumed, and a column that is
+// block-dense yet selection-sparse (thousands of block runs thinned under
+// the cap by a narrow selection) still serves. ok reports false when the
+// cut would exceed max (> 0), with dst returned truncated to its prior
+// length; raw segments and empty span lists cut to nothing with ok true.
+func (sc *SegCursor) CutRunsSel(spans []SelSpan, dst []Run, max int) (runs []Run, ok bool) {
+	if len(spans) == 0 {
+		return dst, true
+	}
+	switch sc.codec {
+	case segRLE:
+		// Runs are already materialized in the cursor; the bounded cut's
+		// counting pre-pass sizes the output exactly.
+		res := CutRuns(sc.runs, spans, dst, max)
+		if res == nil && max > 0 {
+			// Over the bound — or an empty cut with nil dst, which the
+			// caller cannot use either way.
+			return dst, false
+		}
+		return res, true
+	case segFOR, segDict:
+	default:
+		return dst, true
+	}
+	base := len(dst)
+	over := false
+	si := 0
+	rs := int32(0) // block row where the current streamed run begins
+	// emit intersects one streamed run [rs, re) of value v with the spans,
+	// mirroring CutRuns's emission (adjacent equal values coalesce, also
+	// across span gaps). It reports whether the walk should continue.
+	emit := func(v int64, re int32) bool {
+		for si < len(spans) && spans[si].Lo+spans[si].N <= rs {
+			si++
+		}
+		for s := si; s < len(spans) && spans[s].Lo < re; s++ {
+			a, b := spans[s].Lo, spans[s].Lo+spans[s].N
+			if rs > a {
+				a = rs
+			}
+			if re < b {
+				b = re
+			}
+			if b <= a {
+				continue
+			}
+			if n := len(dst); n > 0 && dst[n-1].Val == v {
+				dst[n-1].N += b - a
+			} else {
+				if max > 0 && len(dst)-base >= max {
+					over = true
+					return false
+				}
+				dst = append(dst, Run{Val: v, N: b - a})
+			}
+		}
+		rs = re
+		return si < len(spans)
+	}
+	val := func(u uint64) int64 { return sc.dict[u] }
+	if sc.codec == segFOR {
+		if sc.width == 0 {
+			emit(sc.base, int32(sc.n))
+			return dst, true
+		}
+		b := uint64(sc.base)
+		val = func(u uint64) int64 { return int64(b + u) }
+	}
+	var cur uint64
+	var run int32
+	first := true
+	unpackEach(sc.packed, sc.n, sc.width, func(u uint64) bool {
+		if first {
+			cur, run, first = u, 1, false
+			return true
+		}
+		if u == cur {
+			run++
+			return true
+		}
+		if !emit(val(cur), rs+run) {
+			return false
+		}
+		cur, run = u, 1
+		return true
+	})
+	if !over && !first && si < len(spans) {
+		emit(val(cur), rs+run)
+	}
+	if over {
+		return dst[:base], false
+	}
+	return dst, true
 }
 
 // NumCodes returns the dictionary size, or 0 for non-dict segments.

@@ -9,21 +9,24 @@
 # throughput benches, the scan-planner pushdown benches, the per-codec
 # matrix (encoded size and full-column-scan decode MB/s for v2.1, v2.1+flate
 # and every v2.2 segment codec), the compressed-domain execution bench
-# (filtered full characterization, kernels on vs off), and the grouped
+# (filtered full characterization, kernels on vs off), the grouped
 # execution bench (unfiltered full characterization, grouped aggregation on
-# vs off), with -benchmem so bytes/op and allocs/op land in the record.
+# vs off), and the filtered grouped bench (filtered characterization with
+# selection-backed grouped execution on vs off), with -benchmem so bytes/op
+# and allocs/op land in the record.
 # BENCH_PR1.json was captured at GOMAXPROCS=1, which hid
 # every parallel speedup; this harness records GOMAXPROCS and refuses to
 # publish a single-core record from a multi-core machine unless explicitly
 # allowed with BENCH_ALLOW_SINGLE_CORE=1.
 #
 # After writing the record, the compressed-domain MB/s figures are compared
-# against the committed BENCH_PR6.json baseline and the grouped-execution
-# figures against BENCH_PR7.json; a loss of more than 15% on either arm of
-# either bench fails the run. Set BENCH_SKIP_REGRESSION=1 to record anyway.
+# against the committed BENCH_PR6.json baseline, the grouped-execution
+# figures against BENCH_PR7.json, and the filtered grouped figures against
+# BENCH_PR10.json; a loss of more than 15% on any arm of any bench fails
+# the run. Set BENCH_SKIP_REGRESSION=1 to record anyway.
 set -eu
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR10.json}"
 cd "$(dirname "$0")/.."
 
 ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
@@ -49,10 +52,10 @@ go test -run '^$' \
 # arm. Publish the fastest sample of each arm — the allocation counts are
 # deterministic and identical across samples.
 go test -run '^$' \
-    -bench 'BenchmarkCompressedDomain|BenchmarkGroupedAgg' \
+    -bench 'BenchmarkCompressedDomain|BenchmarkGroupedAgg|BenchmarkGroupedFiltered' \
     -benchmem -benchtime 100x -count 3 -timeout 30m . \
   | tee "$tmp.cd"
-awk '/^BenchmarkCompressedDomain|^BenchmarkGroupedAgg/ {
+awk '/^BenchmarkCompressedDomain|^BenchmarkGroupedAgg|^BenchmarkGroupedFiltered/ {
        if (!($1 in best) || $3+0 < best[$1]) { best[$1]=$3+0; line[$1]=$0 }
      }
      END { for (k in line) print line[k] }' "$tmp.cd" >> "$tmp"
@@ -68,4 +71,8 @@ fi
 if [ "${BENCH_SKIP_REGRESSION:-0}" != "1" ] && [ -f BENCH_PR7.json ] && [ "$out" != "BENCH_PR7.json" ]; then
     echo "== regression guard: BenchmarkGroupedAgg vs BENCH_PR7.json =="
     go run ./scripts/benchcmp -prefix BenchmarkGroupedAgg BENCH_PR7.json "$out"
+fi
+if [ "${BENCH_SKIP_REGRESSION:-0}" != "1" ] && [ -f BENCH_PR10.json ] && [ "$out" != "BENCH_PR10.json" ]; then
+    echo "== regression guard: BenchmarkGroupedFiltered vs BENCH_PR10.json =="
+    go run ./scripts/benchcmp -prefix BenchmarkGroupedFiltered BENCH_PR10.json "$out"
 fi
